@@ -1,0 +1,85 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.bench import (
+    ablation_gather,
+    ablation_header,
+    ablation_scheduler,
+    format_table,
+)
+from repro.simnet import simulate_centralized, simulate_multiport
+from repro.simnet.calibration import PAPER_SEQUENCE_BYTES
+
+from conftest import register_table
+
+
+@pytest.fixture(scope="module", autouse=True)
+def render(paper_config):
+    register_table(format_table(ablation_scheduler(paper_config)))
+    register_table(format_table(ablation_gather(paper_config)))
+    register_table(format_table(ablation_header(paper_config)))
+
+
+class TestSchedulerAblation:
+    def test_ideal_scheduler_bench(self, benchmark, paper_config):
+        ideal = paper_config.without_scheduler()
+        result = benchmark(
+            simulate_centralized, ideal, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        assert result.t_inv > 0
+
+    def test_interference_explains_centralized_growth(self, paper_config):
+        """With an ideal scheduler the centralized method barely grows
+        with thread count — confirming the paper's attribution."""
+        ideal = paper_config.without_scheduler()
+        grow_real = (
+            simulate_centralized(
+                paper_config, 1, 8, PAPER_SEQUENCE_BYTES
+            ).t_pack_send
+            - simulate_centralized(
+                paper_config, 1, 1, PAPER_SEQUENCE_BYTES
+            ).t_pack_send
+        )
+        grow_ideal = (
+            simulate_centralized(ideal, 1, 8, PAPER_SEQUENCE_BYTES).t_pack_send
+            - simulate_centralized(ideal, 1, 1, PAPER_SEQUENCE_BYTES).t_pack_send
+        )
+        assert grow_ideal == pytest.approx(0.0, abs=1.0)
+        assert grow_real > 20.0
+
+    def test_multiport_still_wins_without_interference(self, paper_config):
+        """Locality + parallel marshaling alone keep multi-port ahead."""
+        ideal = paper_config.without_scheduler()
+        ct = simulate_centralized(ideal, 4, 8, PAPER_SEQUENCE_BYTES)
+        mp = simulate_multiport(ideal, 4, 8, PAPER_SEQUENCE_BYTES)
+        assert mp.t_inv < ct.t_inv
+
+
+class TestGatherAblation:
+    def test_staging_is_minority_of_win(self, paper_config):
+        """Gather/scatter elimination explains only part of the gap;
+        the link-utilization effect carries the rest."""
+        ct = simulate_centralized(paper_config, 4, 8, PAPER_SEQUENCE_BYTES)
+        mp = simulate_multiport(paper_config, 4, 8, PAPER_SEQUENCE_BYTES)
+        staging = ct.t_gather + ct.t_scatter
+        win = ct.t_inv - mp.t_inv
+        assert 0 < staging < win
+
+
+class TestHeaderAblation:
+    def test_header_overhead_vanishes_at_scale(self, paper_config):
+        small = simulate_multiport(paper_config, 4, 8, 100 * 8)
+        big = simulate_multiport(paper_config, 4, 8, 10**6 * 8)
+        header = (
+            paper_config.pair_stall(4, 8, multiport=True)
+            + paper_config.link_latency
+        )
+        assert header / small.t_inv > 0.05
+        assert header / big.t_inv < 0.05
+
+    def test_header_bench(self, benchmark, paper_config):
+        result = benchmark(
+            simulate_multiport, paper_config, 4, 8, 100 * 8
+        )
+        assert result.t_inv > 0

@@ -1,0 +1,84 @@
+"""Concurrent-client contention bench — the throughput side of §3.3's
+argument for separating the invocation header from data transfer."""
+
+import pytest
+
+from repro.bench import concurrent_clients, format_table
+from repro.simnet import simulate_concurrent
+from repro.simnet.calibration import PAPER_SEQUENCE_BYTES
+
+from conftest import register_table
+
+BURSTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def render(paper_config):
+    register_table(format_table(concurrent_clients(paper_config)))
+
+
+@pytest.mark.parametrize("nclients", BURSTS)
+@pytest.mark.parametrize("method", ["centralized", "multiport"])
+def test_concurrent_burst(benchmark, paper_config, method, nclients):
+    result = benchmark(
+        simulate_concurrent,
+        paper_config,
+        method,
+        nclients,
+        4,
+        8,
+        PAPER_SEQUENCE_BYTES,
+    )
+    assert result.makespan > 0
+
+
+def test_multiport_sustains_higher_aggregate(paper_config):
+    for k in BURSTS:
+        ct = simulate_concurrent(
+            paper_config, "centralized", k, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        mp = simulate_concurrent(
+            paper_config, "multiport", k, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        assert mp.aggregate_bandwidth > ct.aggregate_bandwidth
+
+
+def test_pipelining_improves_aggregate_bandwidth(paper_config):
+    """Transfers of later requests overlap processing of earlier ones,
+    so aggregate bandwidth rises with burst size for both methods."""
+    for method in ("centralized", "multiport"):
+        rates = [
+            simulate_concurrent(
+                paper_config, method, k, 4, 8, PAPER_SEQUENCE_BYTES
+            ).aggregate_bandwidth
+            for k in BURSTS
+        ]
+        assert rates == sorted(rates)
+
+
+def test_multiport_approaches_link_saturation(paper_config):
+    result = simulate_concurrent(
+        paper_config, "multiport", 8, 4, 8, PAPER_SEQUENCE_BYTES
+    )
+    assert result.link_utilization > 0.85
+    assert (
+        result.aggregate_bandwidth
+        > 0.85 * paper_config.link_bandwidth
+    )
+
+
+def test_single_client_matches_solo_model(paper_config):
+    """A burst of one must agree with the standalone invocation model
+    (same phases, same costs)."""
+    from repro.simnet import simulate_centralized, simulate_multiport
+
+    burst = simulate_concurrent(
+        paper_config, "centralized", 1, 4, 8, PAPER_SEQUENCE_BYTES
+    )
+    solo = simulate_centralized(paper_config, 4, 8, PAPER_SEQUENCE_BYTES)
+    assert burst.makespan == pytest.approx(solo.t_inv, rel=0.02)
+    burst_mp = simulate_concurrent(
+        paper_config, "multiport", 1, 4, 8, PAPER_SEQUENCE_BYTES
+    )
+    solo_mp = simulate_multiport(paper_config, 4, 8, PAPER_SEQUENCE_BYTES)
+    assert burst_mp.makespan == pytest.approx(solo_mp.t_inv, rel=0.05)

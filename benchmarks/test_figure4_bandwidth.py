@@ -1,0 +1,75 @@
+"""Figure 4 — effective bandwidth vs sequence length, both methods,
+at the most powerful configuration (client=4, server=8)."""
+
+import pytest
+
+from repro.bench import FIGURE4_PAPER, figure4, format_figure4
+from repro.simnet import simulate_centralized, simulate_multiport
+
+from conftest import register_table
+
+LENGTHS = [10**e for e in range(1, 8)]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def render(paper_config):
+    register_table(format_figure4(figure4(paper_config)))
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_figure4_centralized_point(benchmark, paper_config, length):
+    result = benchmark(
+        simulate_centralized, paper_config, 4, 8, length * 8
+    )
+    assert result.effective_bandwidth > 0
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_figure4_multiport_point(benchmark, paper_config, length):
+    result = benchmark(
+        simulate_multiport, paper_config, 4, 8, length * 8
+    )
+    assert result.effective_bandwidth > 0
+
+
+def test_figure4_centralized_peak(paper_config):
+    peak = max(
+        simulate_centralized(
+            paper_config, 4, 8, n * 8
+        ).effective_bandwidth
+        for n in LENGTHS
+    )
+    assert peak == pytest.approx(
+        FIGURE4_PAPER["centralized_peak_mbps"], rel=0.15
+    )
+
+
+def test_figure4_multiport_peak(paper_config):
+    peak = max(
+        simulate_multiport(
+            paper_config, 4, 8, n * 8
+        ).effective_bandwidth
+        for n in LENGTHS
+    )
+    assert peak == pytest.approx(
+        FIGURE4_PAPER["multiport_peak_mbps"], rel=0.20
+    )
+
+
+def test_figure4_methods_converge_at_small_sizes(paper_config):
+    """'For small data sizes the performance of both methods is nearly
+    the same.'"""
+    for length in (10, 100, 1000):
+        ct = simulate_centralized(paper_config, 4, 8, length * 8)
+        mp = simulate_multiport(paper_config, 4, 8, length * 8)
+        ratio = mp.t_inv / ct.t_inv
+        assert 0.5 < ratio < 1.5
+
+
+def test_figure4_multiport_dominates_at_large_sizes(paper_config):
+    """'For large data sizes the multi-port method significantly
+    outperforms the centralized method.'"""
+    for length in (10**6, 10**7):
+        ct = simulate_centralized(paper_config, 4, 8, length * 8)
+        mp = simulate_multiport(paper_config, 4, 8, length * 8)
+        assert mp.effective_bandwidth > 1.8 * ct.effective_bandwidth

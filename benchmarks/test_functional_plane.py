@@ -1,0 +1,90 @@
+"""Wall-clock benchmarks of the *functional* plane: the real ORB stack
+(threads, CDR, transport) executing the same invocations.
+
+These do not reproduce the paper's absolute numbers — that is the
+simulator's job — but they measure this library's own overheads and
+preserve the paper's key *relative* property on real executions: the
+multi-port method moves every byte exactly once per direction, while
+the centralized method moves each byte through gather + network +
+scatter.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ORB, compile_idl
+
+IDL = """
+typedef dsequence<double> darray;
+interface bench_object {
+    void touch(inout darray data);
+    double consume(in darray data);
+    long ping(in long x);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def stack():
+    idl = compile_idl(IDL, module_name="bench_idl")
+
+    class Impl(idl.bench_object_skel):
+        def touch(self, data):
+            data.local_data()[:] += 1.0
+
+        def consume(self, data):
+            total = float(data.local_data().sum())
+            if self.comm is not None:
+                from repro.rts.mpi import SUM
+
+                total = self.comm.allreduce(total, op=SUM)
+            return total
+
+        def ping(self, x):
+            return x + 1
+
+    orb = ORB(timeout=60.0)
+    orb.serve("bench", lambda ctx: Impl(), 4)
+    runtime = orb.client_runtime()
+    proxy_multi = idl.bench_object._bind("bench", runtime)
+    proxy_cent = idl.bench_object._bind(
+        "bench", runtime, transfer="centralized"
+    )
+    yield idl, orb, proxy_multi, proxy_cent
+    orb.shutdown()
+
+
+class TestLatency:
+    def test_null_invocation_latency(self, benchmark, stack):
+        _idl, _orb, proxy, _ = stack
+        result = benchmark(proxy.ping, 1)
+        assert result == 2
+
+    def test_future_dispatch_overhead(self, benchmark, stack):
+        _idl, _orb, proxy, _ = stack
+
+        def roundtrip():
+            return proxy.ping_nb(1).value(timeout=30)
+
+        assert benchmark(roundtrip) == 2
+
+
+@pytest.mark.parametrize("nelems", [1_000, 100_000])
+class TestThroughput:
+    def test_centralized_in_argument(self, benchmark, stack, nelems):
+        idl, _orb, _, proxy = stack
+        seq = idl.darray.adopt(np.ones(nelems))
+        total = benchmark(proxy.consume, seq)
+        assert total == float(nelems)
+
+    def test_multiport_in_argument(self, benchmark, stack, nelems):
+        idl, _orb, proxy, _ = stack
+        seq = idl.darray.adopt(np.ones(nelems))
+        total = benchmark(proxy.consume, seq)
+        assert total == float(nelems)
+
+    def test_inout_roundtrip(self, benchmark, stack, nelems):
+        idl, _orb, proxy, _ = stack
+        seq = idl.darray.adopt(np.zeros(nelems))
+        benchmark(proxy.touch, seq)
+        assert seq.local_data()[0] > 0

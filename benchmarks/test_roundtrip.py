@@ -1,0 +1,88 @@
+"""Inout round-trip bench: the argument travels both directions — the
+paper's diffusion example's real traffic pattern, extending the
+one-way evaluation."""
+
+import pytest
+
+from repro.bench import format_table, roundtrip
+from repro.simnet import simulate_centralized, simulate_multiport
+from repro.simnet.calibration import PAPER_SEQUENCE_BYTES
+
+from conftest import register_table
+
+CONFIGS = [(1, 1), (1, 8), (4, 4), (4, 8)]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def render(paper_config):
+    register_table(format_table(roundtrip(paper_config)))
+
+
+@pytest.mark.parametrize("nclient,nserver", CONFIGS)
+@pytest.mark.parametrize("method", ["centralized", "multiport"])
+def test_roundtrip_bench(benchmark, paper_config, method, nclient, nserver):
+    simulate = (
+        simulate_centralized if method == "centralized"
+        else simulate_multiport
+    )
+    result = benchmark(
+        simulate,
+        paper_config,
+        nclient,
+        nserver,
+        PAPER_SEQUENCE_BYTES,
+        reply_bytes=PAPER_SEQUENCE_BYTES,
+    )
+    assert result.t_inv > 0
+
+
+def test_roundtrip_costs_more_than_one_way(paper_config):
+    for nclient, nserver in CONFIGS:
+        for simulate in (simulate_centralized, simulate_multiport):
+            one_way = simulate(
+                paper_config, nclient, nserver, PAPER_SEQUENCE_BYTES
+            )
+            both = simulate(
+                paper_config,
+                nclient,
+                nserver,
+                PAPER_SEQUENCE_BYTES,
+                reply_bytes=PAPER_SEQUENCE_BYTES,
+            )
+            assert both.t_inv > one_way.t_inv * 1.3
+
+    # A degenerate zero-length argument with reply data still works.
+    tiny = simulate_multiport(paper_config, 2, 2, 0, reply_bytes=0)
+    assert tiny.t_inv > 0
+
+
+def test_multiport_advantage_compounds_on_roundtrips(paper_config):
+    one_way_ratio = (
+        simulate_centralized(paper_config, 4, 8, PAPER_SEQUENCE_BYTES).t_inv
+        / simulate_multiport(paper_config, 4, 8, PAPER_SEQUENCE_BYTES).t_inv
+    )
+    both_ratio = (
+        simulate_centralized(
+            paper_config, 4, 8, PAPER_SEQUENCE_BYTES,
+            reply_bytes=PAPER_SEQUENCE_BYTES,
+        ).t_inv
+        / simulate_multiport(
+            paper_config, 4, 8, PAPER_SEQUENCE_BYTES,
+            reply_bytes=PAPER_SEQUENCE_BYTES,
+        ).t_inv
+    )
+    assert both_ratio >= one_way_ratio
+
+
+def test_symmetric_single_thread_parity(paper_config):
+    """With one thread on each side the methods degenerate to the same
+    path: one pair, no staging, no parallel marshaling."""
+    ct = simulate_centralized(
+        paper_config, 1, 1, PAPER_SEQUENCE_BYTES,
+        reply_bytes=PAPER_SEQUENCE_BYTES,
+    )
+    mp = simulate_multiport(
+        paper_config, 1, 1, PAPER_SEQUENCE_BYTES,
+        reply_bytes=PAPER_SEQUENCE_BYTES,
+    )
+    assert mp.t_inv == pytest.approx(ct.t_inv, rel=0.05)

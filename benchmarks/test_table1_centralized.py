@@ -1,0 +1,57 @@
+"""Table 1 — centralized argument transfer (paper §3.2).
+
+Regenerates every cell of Table 1 (invocation time plus component
+breakdown for one ``in`` dsequence of 2^20 doubles) and times the
+simulation itself with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bench import TABLE1_PAPER, format_table, table1
+from repro.simnet import simulate_centralized
+from repro.simnet.calibration import PAPER_SEQUENCE_BYTES
+
+from conftest import register_table
+
+CONFIGS = sorted(TABLE1_PAPER)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def render(paper_config):
+    register_table(format_table(table1(paper_config)))
+
+
+@pytest.mark.parametrize("nclient,nserver", CONFIGS)
+def test_table1_cell(benchmark, paper_config, nclient, nserver):
+    result = benchmark(
+        simulate_centralized,
+        paper_config,
+        nclient,
+        nserver,
+        PAPER_SEQUENCE_BYTES,
+    )
+    paper_ms = TABLE1_PAPER[(nclient, nserver)]
+    # Shape guarantee: within 10% of the published cell.
+    assert result.t_inv == pytest.approx(paper_ms, rel=0.10)
+
+
+def test_table1_monotone_in_server_threads(paper_config):
+    for nclient in (1, 4):
+        times = [
+            simulate_centralized(
+                paper_config, nclient, s, PAPER_SEQUENCE_BYTES
+            ).t_inv
+            for s in (1, 2, 4, 8)
+        ]
+        assert times == sorted(times)
+
+
+def test_table1_monotone_in_client_threads(paper_config):
+    for nserver in (1, 8):
+        a = simulate_centralized(
+            paper_config, 1, nserver, PAPER_SEQUENCE_BYTES
+        ).t_inv
+        b = simulate_centralized(
+            paper_config, 4, nserver, PAPER_SEQUENCE_BYTES
+        ).t_inv
+        assert b > a

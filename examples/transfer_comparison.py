@@ -1,0 +1,88 @@
+"""Compare the two argument-transfer methods, live and simulated.
+
+Live: runs the same invocation through the real ORB under both
+methods with a protocol tracer attached, and prints the message
+patterns of the paper's Figures 2 and 3.
+
+Simulated: prints the paper's Table 1, Table 2 and Figure 4
+equivalents from the calibrated testbed model (same output as
+``python -m repro.bench``).
+
+Run:  python examples/transfer_comparison.py
+"""
+
+import numpy as np
+
+from repro import ORB, compile_idl
+from repro.bench import figure4, format_figure4
+from repro.orb.transfer import Tracer
+
+IDL = """
+typedef dsequence<double> darray;
+interface worker {
+    void process(inout darray data);
+};
+"""
+
+idl = compile_idl(IDL, module_name="compare_idl")
+
+NCLIENT, NSERVER, NELEMS = 3, 4, 1200
+
+
+class Worker(idl.worker_skel):
+    def process(self, data):
+        data.local_data()[:] *= 2.0
+
+
+def run_method(transfer):
+    tracer = Tracer()
+    orb = ORB(tracer=tracer)
+    orb.serve("worker", lambda ctx: Worker(), NSERVER)
+
+    def client(c):
+        proxy = idl.worker._spmd_bind("worker", c.runtime, transfer=transfer)
+        seq = idl.darray.from_global(np.ones(NELEMS), comm=c.comm)
+        proxy.process(seq)
+        return seq.allgather()
+
+    results = orb.run_spmd_client(NCLIENT, client)
+    orb.shutdown()
+    assert np.all(results[0] == 2.0)
+    return tracer
+
+
+def describe(tracer, transfer):
+    gathers = tracer.of_kind("rts-gather")
+    scatters = tracer.of_kind("rts-scatter")
+    chunks = tracer.of_kind("net-chunk")
+    requests = tracer.of_kind("net-request")
+    print(f"--- {transfer} (client={NCLIENT}, server={NSERVER}) ---")
+    print(f"  network request messages : {len(requests)}")
+    print(f"  RTS gather edges         : {len(gathers)}")
+    print(f"  RTS scatter edges        : {len(scatters)}")
+    print(f"  direct data chunks       : {len(chunks)}")
+    if chunks:
+        req = sorted(
+            (c[3], c[4]) for c in chunks if c[1] == 0
+        )
+        print(f"  request-phase chunk edges: {req}")
+    print()
+
+
+def main():
+    print("=" * 64)
+    print("LIVE (functional plane): message patterns of Figures 2 and 3")
+    print("=" * 64)
+    for transfer in ("centralized", "multiport"):
+        describe(run_method(transfer), transfer)
+
+    print("=" * 64)
+    print("SIMULATED (performance plane): Figure 4 on the 1997 testbed")
+    print("=" * 64)
+    print(format_figure4(figure4()))
+    print()
+    print("run `python -m repro.bench` for Tables 1-2 and the ablations")
+
+
+if __name__ == "__main__":
+    main()

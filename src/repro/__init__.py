@@ -1,0 +1,77 @@
+"""PARDIS reproduction — a parallel approach to CORBA.
+
+This package reproduces the system described in
+
+    K. Keahey and D. Gannon, "PARDIS: A Parallel Approach to CORBA",
+    Proc. 6th IEEE Int. Symposium on High Performance Distributed
+    Computing (HPDC-6), 1997.
+
+The public API is re-exported here; subpackages load lazily so that
+importing :mod:`repro` stays cheap.  The subpackages are:
+
+``repro.dist``
+    Distribution templates and distributed sequences (paper §2.2).
+``repro.cdr``
+    CDR-style marshaling used by the ORB.
+``repro.rts``
+    The run-time-system interface: a thread-based MPI-like message
+    passing library, the SPMD executor, and futures (paper §2.3).
+``repro.idl``
+    The IDL compiler: CORBA IDL plus the ``dsequence`` extension,
+    generating Python proxies and skeletons (paper §2.1).
+``repro.orb``
+    The request broker: transport, naming, requests, the object
+    adapter, and the two distributed-argument transfer methods
+    (paper §3.2, §3.3).
+``repro.core``
+    The SPMD object model and high-level API tying it all together.
+``repro.simnet``
+    A discrete-event simulator of the paper's testbed used by the
+    benchmark harness to regenerate Tables 1-2 and Figure 4.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Public name → (module, attribute) for lazy loading.
+_EXPORTS = {
+    "BlockTemplate": ("repro.dist", "BlockTemplate"),
+    "DistTemplate": ("repro.dist", "DistTemplate"),
+    "DistributedSequence": ("repro.dist", "DistributedSequence"),
+    "ExplicitTemplate": ("repro.dist", "ExplicitTemplate"),
+    "Layout": ("repro.dist", "Layout"),
+    "Proportions": ("repro.dist", "Proportions"),
+    "transfer_schedule": ("repro.dist", "transfer_schedule"),
+    "Future": ("repro.rts", "Future"),
+    "Intracomm": ("repro.rts", "Intracomm"),
+    "SpmdExecutor": ("repro.rts", "SpmdExecutor"),
+    "spmd_run": ("repro.rts", "spmd_run"),
+    "ORB": ("repro.core", "ORB"),
+    "SpmdClientGroup": ("repro.core", "SpmdClientGroup"),
+    "SpmdServerGroup": ("repro.core", "SpmdServerGroup"),
+    "TransferMethod": ("repro.core", "TransferMethod"),
+    "compile_idl": ("repro.idl", "compile_idl"),
+    "compile_idl_module": ("repro.idl", "compile_idl_module"),
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,48 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+``python -m repro.bench`` prints all of them; ``pytest benchmarks/
+--benchmark-only`` times the underlying models and prints the same
+tables in its terminal summary.  The numbers come from
+:mod:`repro.simnet` (simulated time); the *paper* columns come from
+:mod:`repro.bench.paper_data`.
+"""
+
+from repro.bench.paper_data import (
+    FIGURE4_PAPER,
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    UNEVEN_SPLIT_PAPER_MS,
+)
+from repro.bench.tables import (
+    TableResult,
+    figure4,
+    format_figure4,
+    format_table,
+    table1,
+    table2,
+    uneven_split,
+    concurrent_clients,
+    roundtrip,
+    ablation_scheduler,
+    ablation_gather,
+    ablation_header,
+)
+
+__all__ = [
+    "FIGURE4_PAPER",
+    "TABLE1_PAPER",
+    "TABLE2_PAPER",
+    "TableResult",
+    "UNEVEN_SPLIT_PAPER_MS",
+    "ablation_gather",
+    "ablation_header",
+    "ablation_scheduler",
+    "concurrent_clients",
+    "figure4",
+    "format_figure4",
+    "roundtrip",
+    "format_table",
+    "table1",
+    "table2",
+    "uneven_split",
+]

@@ -1,0 +1,75 @@
+"""``python -m repro.bench [name ...]`` — print the paper's tables.
+
+Names: table1, table2, figure4, uneven, ablation-scheduler,
+ablation-gather, ablation-header, all (default).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.tables import (
+    ablation_gather,
+    concurrent_clients,
+    roundtrip,
+    ablation_header,
+    ablation_scheduler,
+    figure4,
+    format_figure4,
+    format_table,
+    table1,
+    table2,
+    uneven_split,
+)
+
+_GENERATORS = {
+    "table1": lambda: format_table(table1()),
+    "table2": lambda: format_table(table2()),
+    "figure4": lambda: format_figure4(figure4()),
+    "uneven": lambda: format_table(uneven_split()),
+    "concurrent": lambda: format_table(concurrent_clients()),
+    "roundtrip": lambda: format_table(roundtrip()),
+    "ablation-scheduler": lambda: format_table(ablation_scheduler()),
+    "ablation-gather": lambda: format_table(ablation_gather()),
+    "ablation-header": lambda: format_table(ablation_header()),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    cli = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the PARDIS paper's tables and figures",
+    )
+    cli.add_argument(
+        "names",
+        nargs="*",
+        metavar="name",
+        help=(
+            "which experiment(s) to print: "
+            + ", ".join([*_GENERATORS, "all"])
+            + " (default: all)"
+        ),
+    )
+    args = cli.parse_args(argv)
+    unknown = [
+        n for n in args.names if n != "all" and n not in _GENERATORS
+    ]
+    if unknown:
+        cli.error(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{[*_GENERATORS, 'all']}"
+        )
+    names = (
+        list(_GENERATORS)
+        if not args.names or "all" in args.names
+        else args.names
+    )
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(_GENERATORS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

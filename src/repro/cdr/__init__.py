@@ -1,0 +1,73 @@
+"""CDR-style marshaling — the ORB's wire representation.
+
+CORBA's Common Data Representation (CDR) defines how IDL-typed values
+are laid out in request and reply messages: natural alignment for
+primitives, explicit byte-order flag, length-prefixed strings and
+sequences, structs as the concatenation of their members.  PARDIS
+generates stub code "containing all the code necessary to perform
+argument marshaling"; this subpackage is that machinery.
+
+Type codes (:mod:`repro.cdr.typecodes`) are runtime descriptions of
+IDL types; the encoder/decoder walk them.  Sequences of fixed-width
+numeric elements take a NumPy fast path (bulk ``tobytes`` /
+``frombuffer``), which is what makes the multi-port method's
+per-thread chunk marshaling cheap.
+"""
+
+from repro.cdr.typecodes import (
+    TC_BOOLEAN,
+    TC_CHAR,
+    TC_DOUBLE,
+    TC_FLOAT,
+    TC_LONG,
+    TC_LONGLONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_STRING,
+    TC_ULONG,
+    TC_ULONGLONG,
+    TC_USHORT,
+    TC_VOID,
+    ArrayTC,
+    DSequenceTC,
+    EnumTC,
+    ExceptionTC,
+    ObjRefTC,
+    SequenceTC,
+    StructTC,
+    TypeCode,
+    UnionTC,
+    MarshalError,
+)
+from repro.cdr.encoder import CdrEncoder, encode_value
+from repro.cdr.decoder import CdrDecoder, decode_value
+
+__all__ = [
+    "ArrayTC",
+    "CdrDecoder",
+    "CdrEncoder",
+    "DSequenceTC",
+    "EnumTC",
+    "ExceptionTC",
+    "MarshalError",
+    "ObjRefTC",
+    "SequenceTC",
+    "StructTC",
+    "TC_BOOLEAN",
+    "TC_CHAR",
+    "TC_DOUBLE",
+    "TC_FLOAT",
+    "TC_LONG",
+    "TC_LONGLONG",
+    "TC_OCTET",
+    "TC_SHORT",
+    "TC_STRING",
+    "TC_ULONG",
+    "TC_ULONGLONG",
+    "TC_USHORT",
+    "TC_VOID",
+    "TypeCode",
+    "UnionTC",
+    "decode_value",
+    "encode_value",
+]

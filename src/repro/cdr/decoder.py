@@ -1,0 +1,167 @@
+"""CDR decoder: the inverse of :mod:`repro.cdr.encoder`.
+
+Reads the byte-order flag octet first, then honours the sender's
+endianness for every primitive — a little-endian client can talk to a
+big-endian server, which is the heterogeneity CORBA's CDR exists for.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.cdr import typecodes as tc
+from repro.cdr.typecodes import MarshalError, TypeCode
+
+_NATIVE_LITTLE = sys.byteorder == "little"
+
+
+class CdrDecoder:
+    """A read-once CDR stream over ``data``."""
+
+    def __init__(self, data: bytes) -> None:
+        if not data:
+            raise MarshalError("empty CDR stream")
+        self._data = data
+        self._pos = 1
+        self.little_endian = bool(data[0])
+        self._endian_char = "<" if self.little_endian else ">"
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    # -- primitives --------------------------------------------------------
+
+    def align(self, n: int) -> None:
+        self._pos += (-self._pos) % n
+
+    def read_octets(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise MarshalError(
+                f"CDR stream truncated: need {n} octets at offset "
+                f"{self._pos}, have {self.remaining}"
+            )
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def _unpack(self, fmt: str, size: int) -> Any:
+        self.align(size)
+        raw = self.read_octets(size)
+        return struct.unpack(self._endian_char + fmt, raw)[0]
+
+    def read_ulong(self) -> int:
+        return self._unpack("I", 4)
+
+    def read_long(self) -> int:
+        return self._unpack("i", 4)
+
+    def read_string(self) -> str:
+        n = self.read_ulong()
+        if n == 0:
+            raise MarshalError("string length prefix of 0 is malformed")
+        raw = self.read_octets(n)
+        if raw[-1] != 0:
+            raise MarshalError("string is not NUL-terminated")
+        return raw[:-1].decode("utf-8")
+
+    def read_boolean(self) -> bool:
+        return self.read_octets(1) != b"\0"
+
+    # -- typed values --------------------------------------------------------
+
+    def read(self, typecode: TypeCode) -> Any:
+        kind = typecode.kind
+        if isinstance(typecode, tc.BasicTC):
+            return self._read_basic(typecode)
+        if kind == "void":
+            return None
+        if kind == "string":
+            value = self.read_string()
+            typecode.validate(value)
+            return value
+        if kind == "enum":
+            ordinal = self.read_ulong()
+            members = typecode.members  # type: ignore[attr-defined]
+            if ordinal >= len(members):
+                raise MarshalError(
+                    f"enum ordinal {ordinal} out of range for "
+                    f"{typecode.name}"  # type: ignore[attr-defined]
+                )
+            return members[ordinal]
+        if kind == "struct":
+            return {
+                name: self.read(ftc)
+                for name, ftc in typecode.fields  # type: ignore[attr-defined]
+            }
+        if kind == "sequence":
+            n = self.read_ulong()
+            bound = typecode.bound  # type: ignore[attr-defined]
+            if bound is not None and n > bound:
+                raise MarshalError(
+                    f"sequence of length {n} exceeds bound {bound}"
+                )
+            return self._read_elements(typecode.element, n)  # type: ignore[attr-defined]
+        if kind == "array":
+            return self._read_elements(
+                typecode.element, typecode.length  # type: ignore[attr-defined]
+            )
+        if kind == "dsequence":
+            n = self.read_ulong()
+            if typecode.bound is not None and n > typecode.bound:  # type: ignore[attr-defined]
+                raise MarshalError(
+                    f"dsequence of length {n} exceeds bound "
+                    f"{typecode.bound}"  # type: ignore[attr-defined]
+                )
+            return self._read_elements(typecode.element, n)  # type: ignore[attr-defined]
+        if kind == "union":
+            discriminator = self.read(typecode.discriminator)  # type: ignore[attr-defined]
+            _member, member_tc = typecode.arm_for(discriminator)  # type: ignore[attr-defined]
+            return {"d": discriminator, "v": self.read(member_tc)}
+        if kind == "objref":
+            return self.read_string()
+        if kind == "exception":
+            repo_id = self.read_string()
+            if repo_id != typecode.repo_id:  # type: ignore[attr-defined]
+                raise MarshalError(
+                    f"exception id mismatch: stream carries {repo_id!r}, "
+                    f"expected {typecode.repo_id!r}"  # type: ignore[attr-defined]
+                )
+            return {
+                name: self.read(ftc)
+                for name, ftc in typecode.fields  # type: ignore[attr-defined]
+            }
+        raise MarshalError(f"cannot unmarshal typecode {typecode!r}")
+
+    def _read_basic(self, typecode: tc.BasicTC) -> Any:
+        if typecode.kind == "boolean":
+            return self.read_boolean()
+        if typecode.kind == "char":
+            return self.read_octets(1).decode("latin-1")
+        return self._unpack(typecode.fmt, typecode.size)
+
+    def _read_elements(self, element: TypeCode, count: int) -> Any:
+        dtype = element.dtype
+        if dtype is not None:
+            if element.kind != "boolean":
+                self.align(element.size)  # type: ignore[attr-defined]
+            raw = self.read_octets(count * dtype.itemsize)
+            arr = np.frombuffer(raw, dtype=dtype).copy()
+            if self.little_endian != _NATIVE_LITTLE:
+                arr = arr.byteswap()
+            if element.kind == "boolean":
+                return arr.astype(bool)
+            return arr
+        return [self.read(element) for _ in range(count)]
+
+
+def decode_value(typecode: TypeCode, data: bytes) -> Any:
+    """One-shot helper matching :func:`repro.cdr.encoder.encode_value`."""
+    return CdrDecoder(data).read(typecode)

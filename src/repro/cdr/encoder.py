@@ -1,0 +1,201 @@
+"""CDR encoder: TypeCode-driven marshaling into a byte buffer.
+
+Layout rules follow CDR: primitives are aligned to their size relative
+to the start of the stream, strings carry a ulong length including the
+terminating NUL, sequences a ulong element count, enums travel as
+ulong ordinals, arrays are bare element runs, structs are member
+concatenations.  The stream's first octet is the byte-order flag
+(0 = big endian, 1 = little endian); this encoder always writes the
+native order and records which.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.cdr import typecodes as tc
+from repro.cdr.typecodes import MarshalError, TypeCode
+
+_NATIVE_LITTLE = sys.byteorder == "little"
+
+
+class CdrEncoder:
+    """An append-only CDR stream.
+
+    The byte-order flag octet is written by :meth:`__init__`, so
+    alignment is computed from stream offset 0 exactly as GIOP does
+    for message bodies.
+    """
+
+    def __init__(self, little_endian: bool | None = None) -> None:
+        self.little_endian = (
+            _NATIVE_LITTLE if little_endian is None else little_endian
+        )
+        self._buf = bytearray()
+        self._endian_char = "<" if self.little_endian else ">"
+        self._buf.append(1 if self.little_endian else 0)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    # -- primitives --------------------------------------------------------
+
+    def align(self, n: int) -> None:
+        """Pad with zero octets to the next multiple of ``n``."""
+        pad = (-len(self._buf)) % n
+        if pad:
+            self._buf.extend(b"\0" * pad)
+
+    def write_octets(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def _pack(self, fmt: str, size: int, value: Any) -> None:
+        self.align(size)
+        try:
+            self._buf.extend(struct.pack(self._endian_char + fmt, value))
+        except (struct.error, TypeError) as exc:
+            raise MarshalError(
+                f"cannot marshal {value!r} as '{fmt}': {exc}"
+            ) from None
+
+    def write_ulong(self, value: int) -> None:
+        tc.TC_ULONG.validate(value)
+        self._pack("I", 4, value)
+
+    def write_long(self, value: int) -> None:
+        tc.TC_LONG.validate(value)
+        self._pack("i", 4, value)
+
+    def write_string(self, value: str, bound: int | None = None) -> None:
+        tc.StringTC(bound).validate(value)
+        raw = value.encode("utf-8")
+        self.write_ulong(len(raw) + 1)
+        self.write_octets(raw + b"\0")
+
+    def write_boolean(self, value: Any) -> None:
+        self._buf.append(1 if value else 0)
+
+    # -- typed values --------------------------------------------------------
+
+    def write(self, typecode: TypeCode, value: Any) -> None:
+        """Marshal ``value`` per ``typecode``."""
+        kind = typecode.kind
+        if isinstance(typecode, tc.BasicTC):
+            self._write_basic(typecode, value)
+        elif kind == "void":
+            typecode.validate(value)
+        elif kind == "string":
+            self.write_string(value, typecode.bound)  # type: ignore[attr-defined]
+        elif kind == "enum":
+            self.write_ulong(typecode.ordinal(value))  # type: ignore[attr-defined]
+        elif kind == "struct":
+            typecode.validate(value)
+            for name, ftc in typecode.fields:  # type: ignore[attr-defined]
+                self.write(ftc, value[name])
+        elif kind == "sequence":
+            self._write_sequence(typecode, value)  # type: ignore[arg-type]
+        elif kind == "array":
+            typecode.validate(value)
+            self._write_elements(typecode.element, value, len(value))  # type: ignore[attr-defined]
+        elif kind == "dsequence":
+            self._write_dsequence(typecode, value)  # type: ignore[arg-type]
+        elif kind == "union":
+            typecode.validate(value)
+            self.write(typecode.discriminator, value["d"])  # type: ignore[attr-defined]
+            _member, member_tc = typecode.arm_for(value["d"])  # type: ignore[attr-defined]
+            self.write(member_tc, value["v"])
+        elif kind == "objref":
+            self.write_string(value if isinstance(value, str) else value.ior())
+        elif kind == "exception":
+            self._write_exception(typecode, value)  # type: ignore[arg-type]
+        else:
+            raise MarshalError(f"cannot marshal typecode {typecode!r}")
+
+    def _write_basic(self, typecode: tc.BasicTC, value: Any) -> None:
+        if typecode.kind == "boolean":
+            self.write_boolean(value)
+            return
+        if typecode.kind == "char":
+            if isinstance(value, str):
+                value = value.encode("latin-1")
+            if not isinstance(value, bytes) or len(value) != 1:
+                raise MarshalError(f"char expects one character, got {value!r}")
+            self._buf.extend(value)
+            return
+        typecode.validate(value)
+        if isinstance(value, (np.integer, np.floating)):
+            value = value.item()
+        self._pack(typecode.fmt, typecode.size, value)
+
+    def _write_elements(
+        self, element: TypeCode, values: Any, count: int
+    ) -> None:
+        """Element run shared by sequences and arrays."""
+        dtype = element.dtype
+        if dtype is not None:
+            arr = np.asarray(values, dtype=dtype)
+            if arr.shape != (count,):
+                raise MarshalError(
+                    f"expected {count} elements, got shape {arr.shape}"
+                )
+            if element.kind != "boolean":
+                self.align(element.size)  # type: ignore[attr-defined]
+            wire = arr if self._native_order() else arr.byteswap()
+            self.write_octets(wire.tobytes())
+            return
+        for value in values:
+            self.write(element, value)
+
+    def _native_order(self) -> bool:
+        return self.little_endian == _NATIVE_LITTLE
+
+    def _write_sequence(self, typecode: tc.SequenceTC, value: Any) -> None:
+        typecode.validate(value)
+        n = len(value)
+        self.write_ulong(n)
+        self._write_elements(typecode.element, value, n)
+
+    def _write_dsequence(self, typecode: tc.DSequenceTC, value: Any) -> None:
+        """Materialized (centralized-method) form: length + all elements.
+
+        ``value`` may be a DistributedSequence whose full content is
+        locally available (gathered), or a plain ndarray.
+        """
+        if isinstance(value, np.ndarray):
+            data = value
+        else:
+            typecode.validate(value)
+            if value.comm is not None:
+                raise MarshalError(
+                    "cannot materialize a group-distributed sequence "
+                    "inline; the transfer engine must gather it first"
+                )
+            data = value.local_data()
+        if typecode.bound is not None and len(data) > typecode.bound:
+            raise MarshalError(
+                f"dsequence of length {len(data)} exceeds bound "
+                f"{typecode.bound}"
+            )
+        self.write_ulong(len(data))
+        self._write_elements(typecode.element, data, len(data))
+
+    def _write_exception(self, typecode: tc.ExceptionTC, value: Any) -> None:
+        self.write_string(typecode.repo_id)
+        members = getattr(value, "members", None)
+        mapping = members() if callable(members) else (value or {})
+        for name, ftc in typecode.fields:
+            self.write(ftc, mapping[name])
+
+
+def encode_value(typecode: TypeCode, value: Any) -> bytes:
+    """One-shot helper: a fresh stream holding just ``value``."""
+    encoder = CdrEncoder()
+    encoder.write(typecode, value)
+    return encoder.getvalue()

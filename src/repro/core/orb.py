@@ -1,0 +1,231 @@
+"""The ORB facade: one object wiring fabric, naming, adapter, clients.
+
+The paper's Figure 1 shows the PARDIS ORB between the client's and the
+server's stub+package stacks, flanked by the two RTS interfaces.  This
+class is that box: it owns the transport fabric and naming domain,
+activates SPMD objects (server side) and mints per-thread client
+runtimes (client side).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.spmd import SpmdServerGroup
+from repro.orb.adapter import ObjectAdapter, Servant, ServantContext
+from repro.orb.naming import NamingService
+from repro.orb.proxy import ClientRuntime
+from repro.orb.transfer import Tracer
+from repro.orb.transport import Fabric
+from repro.rts.executor import SpmdExecutor
+from repro.rts.mpi import Intracomm
+
+
+@dataclass
+class ClientContext:
+    """What a parallel client's thread function receives."""
+
+    rank: int
+    size: int
+    comm: Intracomm | None
+    runtime: ClientRuntime
+
+
+class ORB:
+    """The request broker instance.
+
+    One ORB per "distributed system"; in this reproduction all
+    components share a process, so the ORB's fabric is the network.
+    """
+
+    def __init__(
+        self,
+        name: str = "pardis",
+        *,
+        tracer: Tracer | None = None,
+        timeout: float = 60.0,
+        fabric: Any = None,
+        naming: Any = None,
+    ) -> None:
+        """``fabric``/``naming`` default to the in-process transport
+        and registry; pass a :class:`~repro.orb.socketnet.SocketFabric`
+        and :class:`~repro.orb.socketnet.RemoteNamingClient` to join a
+        multi-process deployment over TCP."""
+        self.name = name
+        self.fabric = fabric if fabric is not None else Fabric(name)
+        self.naming = naming if naming is not None else NamingService()
+        self.tracer = tracer
+        self.timeout = timeout
+        self._adapter = ObjectAdapter(self.fabric, self.naming)
+        self._runtimes: list[ClientRuntime] = []
+        self._lock = threading.Lock()
+        self._shut = False
+
+    # -- server side ---------------------------------------------------------
+
+    def serve(
+        self,
+        name: str,
+        servant_factory: Callable[[ServantContext], Servant],
+        nthreads: int = 1,
+        *,
+        host: str = "",
+        multiport: bool = True,
+        templates: dict[tuple[str, str], Any] | None = None,
+        rts_style: str = "message-passing",
+    ) -> SpmdServerGroup:
+        """Activate an SPMD object and register it with naming.
+
+        ``servant_factory(ctx)`` runs once on every computing thread
+        and returns that thread's servant instance.  ``templates``
+        maps ``(operation, parameter)`` to the distribution template
+        the servant registers for that distributed parameter (§2.2's
+        pre-registration assignment); unlisted parameters default to
+        uniform blockwise.  ``multiport=False`` activates an object
+        that only advertises the single centralized connection.
+        """
+        group = SpmdServerGroup(
+            self.fabric,
+            self.naming,
+            name,
+            servant_factory,
+            nthreads,
+            host=host,
+            multiport=multiport,
+            templates=templates,
+            tracer=self.tracer,
+            rts_style=rts_style,
+        )
+        group.start()
+        self._adapter._groups.append(group)
+        return group
+
+    # -- client side ---------------------------------------------------------
+
+    def client_runtime(
+        self,
+        comm: Intracomm | None = None,
+        *,
+        label: str = "client",
+        rts_style: str = "message-passing",
+    ) -> ClientRuntime:
+        """Create the per-thread client runtime (collective when
+        ``comm`` is a group communicator; serial when ``None``).
+
+        ``rts_style`` selects the run-time-system interface the ORB
+        uses for gathers/scatters: the paper's ``"message-passing"``
+        or its planned ``"one-sided"`` alternative.
+        """
+        runtime = ClientRuntime(
+            self.fabric,
+            self.naming,
+            comm,
+            tracer=self.tracer,
+            timeout=self.timeout,
+            label=label,
+            rts_style=rts_style,
+        )
+        with self._lock:
+            self._runtimes.append(runtime)
+        return runtime
+
+    def run_spmd_client(
+        self,
+        nthreads: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "client",
+        timeout: float = 120.0,
+    ) -> list[Any]:
+        """Run a parallel client: ``fn(client_ctx, *args)`` on each of
+        ``nthreads`` threads, with a ready-made runtime per thread.
+
+        The convenience wrapper for the common pattern in the paper's
+        example: a parallel application that binds to an SPMD object
+        and invokes it collectively.
+        """
+
+        def body(rank_ctx: Any) -> Any:
+            comm = rank_ctx.comm if nthreads > 1 else None
+            runtime = self.client_runtime(comm, label=name)
+            try:
+                return fn(
+                    ClientContext(
+                        rank=rank_ctx.rank,
+                        size=nthreads,
+                        comm=comm,
+                        runtime=runtime,
+                    ),
+                    *args,
+                )
+            finally:
+                runtime.close()
+
+        return SpmdExecutor(nthreads, name=name).run(
+            body, timeout=timeout
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Deactivate all objects and release client resources."""
+        if self._shut:
+            return
+        self._shut = True
+        self._adapter.shutdown()
+        with self._lock:
+            runtimes, self._runtimes = self._runtimes, []
+        for runtime in runtimes:
+            runtime.close()
+
+    def __enter__(self) -> "ORB":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+class SpmdClientGroup:
+    """A persistent parallel client: the same thread group performing
+    several collective interactions (created once, reused).
+
+    Where :meth:`ORB.run_spmd_client` is fork-join per call, this
+    keeps the group alive so examples/benchmarks can time repeated
+    invocations without thread startup costs.
+    """
+
+    def __init__(self, orb: ORB, nthreads: int, name: str = "client") -> None:
+        if nthreads <= 0:
+            raise ValueError("a client group needs at least one thread")
+        self.orb = orb
+        self.nthreads = nthreads
+        self.name = name
+        self._executor = SpmdExecutor(nthreads, name=name)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float = 120.0,
+    ) -> list[Any]:
+        """One collective session: ``fn(client_ctx, *args)`` per thread."""
+
+        def body(rank_ctx: Any) -> Any:
+            comm = rank_ctx.comm if self.nthreads > 1 else None
+            runtime = self.orb.client_runtime(comm, label=self.name)
+            try:
+                return fn(
+                    ClientContext(
+                        rank=rank_ctx.rank,
+                        size=self.nthreads,
+                        comm=comm,
+                        runtime=runtime,
+                    ),
+                    *args,
+                )
+            finally:
+                runtime.close()
+
+        return self._executor.run(body, timeout=timeout)

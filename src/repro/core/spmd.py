@@ -1,0 +1,28 @@
+"""SPMD object model surface: server groups and transfer methods."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.orb.adapter import ServantGroup
+
+
+class TransferMethod(enum.Enum):
+    """The two distributed-argument transfer methods of paper §3."""
+
+    CENTRALIZED = "centralized"
+    MULTIPORT = "multiport"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SpmdServerGroup(ServantGroup):
+    """An activated SPMD object (paper §2).
+
+    A set of computing threads visible to the request broker; a
+    request is satisfied if and only if it is delivered to all of
+    them.  Construction and lifecycle live in
+    :class:`repro.orb.adapter.ServantGroup`; this subclass names the
+    concept at the public-API level.
+    """

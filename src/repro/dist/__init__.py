@@ -1,0 +1,33 @@
+"""Distribution templates and distributed sequences (paper §2.2).
+
+A *distribution template* describes how the elements of a distributed
+sequence are partitioned over the ranks of an SPMD computation.  A
+template is length-independent; binding it to a concrete global length
+produces a :class:`Layout`, which records the contiguous slice of the
+global index space owned by each rank.
+
+A :class:`DistributedSequence` is the run-time value: each rank holds
+the local block of a global one-dimensional array, together with the
+layout that situates the block in global index space.
+"""
+
+from repro.dist.template import (
+    BlockTemplate,
+    DistTemplate,
+    ExplicitTemplate,
+    Layout,
+    Proportions,
+)
+from repro.dist.schedule import TransferStep, transfer_schedule
+from repro.dist.sequence import DistributedSequence
+
+__all__ = [
+    "BlockTemplate",
+    "DistTemplate",
+    "DistributedSequence",
+    "ExplicitTemplate",
+    "Layout",
+    "Proportions",
+    "TransferStep",
+    "transfer_schedule",
+]

@@ -1,0 +1,438 @@
+"""Distributed sequences — the paper's ``dsequence`` mapping (§2.2).
+
+A :class:`DistributedSequence` is the Python mapping of::
+
+    typedef dsequence<double, 1024> diff_array;
+
+Each SPMD rank holds one instance ("the local view"): the local block
+of the data as a NumPy array, plus the :class:`~repro.dist.Layout`
+situating the block globally.  Following the paper, methods are
+SPMD-style: unless documented otherwise they must be called
+collectively by all ranks of the owning group.  A sequence can also be
+used serially (``comm=None``), in which case there is a single rank
+owning everything — this is the *non-distributed mapping* used after a
+plain ``_bind``.
+
+Semantics implemented from the paper:
+
+- ``length()`` / ``set_length(n)``: shrinking discards the data above
+  the new length; growing appends zero-initialized elements owned by
+  the rank that owned the last elements of the old sequence.
+- ``redistribute(template)``: move elements to a new distribution; an
+  error for sequences whose distribution is preset by the template in
+  the IDL definition (``frozen=True``).
+- Conversion constructor :meth:`adopt`: build a sequence around memory
+  the application owns, with ``release`` saying whether the sequence
+  takes ownership (mirrors the CORBA release flag; with NumPy this
+  decides copy-vs-alias).
+- ``local_data()`` / ``local_length()``: escape to the application's
+  own memory-management scheme.
+- ``__getitem__`` / ``__setitem__``: location-transparent element
+  access.  Collective when the sequence is distributed (the owner
+  broadcasts), direct when serial.  Out-of-range access beyond the
+  current length is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dist.schedule import transfer_schedule
+from repro.dist.template import (
+    BlockTemplate,
+    DistTemplate,
+    DistributionError,
+    Layout,
+)
+
+#: Tag namespace for sequence-internal traffic (redistribution, element
+#: access).  Kept above user tags so application messages never collide.
+_TAG_REDIST = 1 << 20
+_TAG_ELEMENT = (1 << 20) + 1
+
+
+class DistributedSequence:
+    """A one-dimensional array distributed blockwise-by-template.
+
+    Parameters
+    ----------
+    length:
+        Global number of elements.
+    dtype:
+        NumPy element dtype.  Any fixed-width dtype works; the IDL
+        compiler maps IDL basic types onto these.
+    template:
+        Distribution template.  Defaults to uniform blockwise, matching
+        the paper's default.
+    comm:
+        The group communicator (``repro.rts.Intracomm``) or ``None``
+        for a serial, single-owner sequence.
+    bound:
+        Optional IDL bound.  A bounded sequence cannot grow past it.
+    frozen:
+        True when the IDL definition preset the distribution, which
+        makes :meth:`redistribute` an error.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        dtype: Any = np.float64,
+        template: DistTemplate | None = None,
+        comm: Any = None,
+        *,
+        bound: int | None = None,
+        frozen: bool = False,
+        _layout: Layout | None = None,
+        _local: np.ndarray | None = None,
+    ) -> None:
+        if length < 0:
+            raise DistributionError("sequence length cannot be negative")
+        if bound is not None and length > bound:
+            raise DistributionError(
+                f"length {length} exceeds the sequence bound {bound}"
+            )
+        self._comm = comm
+        self._dtype = np.dtype(dtype)
+        self._bound = bound
+        self._frozen = frozen
+        nranks = 1 if comm is None else comm.size
+        if _layout is not None:
+            self._layout = _layout
+        else:
+            template = template or BlockTemplate()
+            self._layout = template.layout(length, nranks)
+        if self._layout.nranks != nranks:
+            raise DistributionError(
+                f"layout spans {self._layout.nranks} ranks but the group "
+                f"has {nranks}"
+            )
+        if _local is not None:
+            if len(_local) != self._layout.local_length(self._rank):
+                raise DistributionError(
+                    f"local buffer holds {len(_local)} elements but the "
+                    f"layout assigns {self._layout.local_length(self._rank)} "
+                    f"to rank {self._rank}"
+                )
+            self._local = np.ascontiguousarray(_local, dtype=self._dtype)
+        else:
+            self._local = np.zeros(
+                self._layout.local_length(self._rank), dtype=self._dtype
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def adopt(
+        cls,
+        local_data: np.ndarray,
+        comm: Any = None,
+        *,
+        release: bool = False,
+        dtype: Any = None,
+        bound: int | None = None,
+    ) -> "DistributedSequence":
+        """Conversion constructor: wrap application-owned local blocks.
+
+        Collective.  Each rank passes its local block; the global
+        layout is derived from the local lengths (allgather).  With
+        ``release=True`` the sequence takes ownership and aliases the
+        buffer (mutations through the sequence are visible to the
+        caller); otherwise the data is copied, mirroring the paper's
+        "no data ownership" conversion.
+        """
+        local_data = np.asarray(local_data, dtype=dtype)
+        if local_data.ndim != 1:
+            raise DistributionError(
+                "distributed sequences are one-dimensional; got "
+                f"{local_data.ndim} dimensions"
+            )
+        if comm is None:
+            lengths = [len(local_data)]
+        else:
+            lengths = comm.allgather(len(local_data))
+        layout = Layout.from_local_lengths(lengths)
+        if bound is not None and layout.length > bound:
+            raise DistributionError(
+                f"adopted data has {layout.length} elements, exceeding "
+                f"the sequence bound {bound}"
+            )
+        local = local_data if release else local_data.copy()
+        return cls(
+            layout.length,
+            dtype=local.dtype,
+            comm=comm,
+            bound=bound,
+            _layout=layout,
+            _local=local,
+        )
+
+    @classmethod
+    def from_global(
+        cls,
+        data: np.ndarray,
+        comm: Any = None,
+        template: DistTemplate | None = None,
+        *,
+        bound: int | None = None,
+    ) -> "DistributedSequence":
+        """Build a sequence from replicated global data.
+
+        Collective.  Every rank passes the same full array (cheap in
+        tests and examples); each keeps only its own block.
+        """
+        data = np.asarray(data)
+        seq = cls(
+            len(data),
+            dtype=data.dtype,
+            template=template,
+            comm=comm,
+            bound=bound,
+        )
+        lo, hi = seq._layout.local_range(seq._rank)
+        seq._local[:] = data[lo:hi]
+        return seq
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def _rank(self) -> int:
+        return 0 if self._comm is None else self._comm.rank
+
+    @property
+    def comm(self) -> Any:
+        return self._comm
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def layout(self) -> Layout:
+        return self._layout
+
+    @property
+    def bound(self) -> int | None:
+        return self._bound
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def length(self) -> int:
+        """Global element count (non-collective)."""
+        return self._layout.length
+
+    def __len__(self) -> int:
+        return self.length()
+
+    def local_data(self) -> np.ndarray:
+        """The local block, aliased (non-collective)."""
+        return self._local
+
+    def local_length(self) -> int:
+        """Number of locally-owned elements (non-collective)."""
+        return len(self._local)
+
+    def local_range(self) -> tuple[int, int]:
+        """Half-open global range owned by this rank (non-collective)."""
+        return self._layout.local_range(self._rank)
+
+    # ------------------------------------------------------------------
+    # Length changes (paper's grow/shrink rule)
+    # ------------------------------------------------------------------
+
+    def set_length(self, new_length: int) -> None:
+        """Collective.  Resize per the paper's ownership rule."""
+        if self._bound is not None and new_length > self._bound:
+            raise DistributionError(
+                f"length {new_length} exceeds the sequence bound "
+                f"{self._bound}"
+            )
+        new_layout = self._layout.resized(new_length)
+        old_n = len(self._local)
+        new_n = new_layout.local_length(self._rank)
+        if new_n != old_n:
+            grown = np.zeros(new_n, dtype=self._dtype)
+            grown[: min(old_n, new_n)] = self._local[: min(old_n, new_n)]
+            self._local = grown
+        self._layout = new_layout
+
+    # ------------------------------------------------------------------
+    # Redistribution
+    # ------------------------------------------------------------------
+
+    def redistribute(self, template: DistTemplate) -> None:
+        """Collective.  Move elements to the distribution ``template``.
+
+        An error for sequences whose distribution was preset in IDL
+        (the paper permits ``redistribute`` only "on a sequence whose
+        distribution is not preset").
+        """
+        if self._frozen:
+            raise DistributionError(
+                "cannot redistribute a sequence whose distribution is "
+                "preset by its IDL definition"
+            )
+        nranks = 1 if self._comm is None else self._comm.size
+        new_layout = template.layout(self.length(), nranks)
+        if new_layout == self._layout:
+            return
+        new_local = np.zeros(
+            new_layout.local_length(self._rank), dtype=self._dtype
+        )
+        steps = transfer_schedule(self._layout, new_layout)
+        me = self._rank
+        # Local copies first so sends below never depend on order.
+        for step in steps:
+            if step.src_rank == me and step.dst_rank == me:
+                new_local[step.dst_slice] = self._local[step.src_slice]
+        if self._comm is not None:
+            sends = [
+                s for s in steps if s.src_rank == me and s.dst_rank != me
+            ]
+            recvs = [
+                s for s in steps if s.dst_rank == me and s.src_rank != me
+            ]
+            requests = [
+                self._comm.isend(
+                    self._local[s.src_slice].copy(),
+                    dest=s.dst_rank,
+                    tag=_TAG_REDIST,
+                )
+                for s in sends
+            ]
+            # Receives are matched by source rank; a rank pair moves at
+            # most one chunk per redistribution because both layouts
+            # are contiguous, so (source, tag) identifies the chunk.
+            for s in sorted(recvs, key=lambda s: s.src_rank):
+                chunk = self._comm.recv(source=s.src_rank, tag=_TAG_REDIST)
+                new_local[s.dst_slice] = chunk
+            for req in requests:
+                req.wait()
+            self._comm.barrier()
+        self._local = new_local
+        self._layout = new_layout
+
+    # ------------------------------------------------------------------
+    # Element access (location transparent)
+    # ------------------------------------------------------------------
+
+    def _check_index(self, index: int) -> int:
+        n = self.length()
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(
+                f"index {index} beyond the sequence length {n}"
+            )
+        return index
+
+    def gather_slice(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Collective.  Materialize ``[start, stop)`` on every rank.
+
+        Each rank contributes the overlap of its block; the pieces are
+        exchanged with one allgather and concatenated in rank order.
+        """
+        n = self.length()
+        if stop is None:
+            stop = n
+        if start < 0:
+            start += n
+        if stop < 0:
+            stop += n
+        start = max(0, min(start, n))
+        stop = max(start, min(stop, n))
+        lo, hi = self.local_range()
+        piece_lo, piece_hi = max(lo, start), min(hi, stop)
+        piece = (
+            self._local[piece_lo - lo : piece_hi - lo]
+            if piece_lo < piece_hi
+            else self._local[:0]
+        )
+        if self._comm is None:
+            return piece.copy()
+        parts = self._comm.allgather(piece)
+        return (
+            np.concatenate(parts)
+            if parts
+            else np.zeros(0, dtype=self._dtype)
+        )
+
+    def __getitem__(self, index: Any) -> Any:
+        """Element or slice read.  Collective when distributed: the
+        owner broadcasts an element (paper assumption: SPMD-style
+        access, no one-sided RTS required); a slice is gathered via
+        :meth:`gather_slice`."""
+        if isinstance(index, slice):
+            if index.step not in (None, 1):
+                raise IndexError(
+                    "distributed sequences support unit-stride slices"
+                )
+            return self.gather_slice(
+                0 if index.start is None else index.start,
+                index.stop,
+            )
+        index = self._check_index(index)
+        owner = self._layout.owner_of(index)
+        if self._comm is None:
+            return self._local[index].item()
+        lo, _ = self._layout.local_range(owner)
+        if self._rank == owner:
+            value = self._local[index - lo].item()
+        else:
+            value = None
+        return self._comm.bcast(value, root=owner)
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        """Element write.  Collective when distributed; all ranks must
+        pass the same value, the owner stores it."""
+        index = self._check_index(index)
+        owner = self._layout.owner_of(index)
+        if self._comm is None:
+            self._local[index] = value
+            return
+        if self._rank == owner:
+            lo, _ = self._layout.local_range(owner)
+            self._local[index - lo] = value
+        self._comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Whole-sequence helpers
+    # ------------------------------------------------------------------
+
+    def allgather(self) -> np.ndarray:
+        """Collective.  Materialize the full global array on all ranks."""
+        if self._comm is None:
+            return self._local.copy()
+        parts = self._comm.allgather(self._local)
+        return (
+            np.concatenate(parts)
+            if parts
+            else np.zeros(0, dtype=self._dtype)
+        )
+
+    def copy(self) -> "DistributedSequence":
+        """Deep copy preserving layout and group (non-collective)."""
+        return DistributedSequence(
+            self.length(),
+            dtype=self._dtype,
+            comm=self._comm,
+            bound=self._bound,
+            frozen=self._frozen,
+            _layout=self._layout,
+            _local=self._local.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedSequence length={self.length()} "
+            f"dtype={self._dtype} rank={self._rank} "
+            f"local={self.local_length()}>"
+        )

@@ -1,0 +1,284 @@
+"""Distribution templates: how a global index space maps onto ranks.
+
+The paper's ``DistTempl`` objects describe the partitioning of a
+distributed sequence.  The default is *uniform blockwise*; the
+alternative shown in the paper is ``PARDIS::Proportions``, e.g.::
+
+    _diff_object_sk::diffusion_myarray =
+        new DistTempl(Proportions(2,4,2,4));
+
+which distributes the argument over threads 0..3 in proportions
+2:4:2:4.  Templates here follow the same model: a template is bound to
+a rank count (implicitly or explicitly) and, when given a concrete
+global length, yields a :class:`Layout` — the list of contiguous,
+disjoint, ordered index ranges owned by each rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class DistributionError(ValueError):
+    """Raised for invalid templates or layout requests."""
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A concrete partitioning of ``[0, length)`` over ``nranks`` ranks.
+
+    ``bounds[r] == (lo, hi)`` is the half-open global index range owned
+    by rank ``r``.  Ranges are contiguous, ordered by rank, disjoint,
+    and cover the whole index space (some may be empty).
+    """
+
+    bounds: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        cursor = 0
+        for r, (lo, hi) in enumerate(self.bounds):
+            if lo != cursor or hi < lo:
+                raise DistributionError(
+                    f"rank {r} owns [{lo}, {hi}) but the previous rank "
+                    f"ends at {cursor}; layouts must tile the index space"
+                )
+            cursor = hi
+
+    @property
+    def nranks(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def length(self) -> int:
+        return self.bounds[-1][1] if self.bounds else 0
+
+    def local_range(self, rank: int) -> tuple[int, int]:
+        """Half-open global range owned by ``rank``."""
+        return self.bounds[rank]
+
+    def local_length(self, rank: int) -> int:
+        lo, hi = self.bounds[rank]
+        return hi - lo
+
+    def local_lengths(self) -> tuple[int, ...]:
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+    def owner_of(self, index: int) -> int:
+        """Rank owning global ``index``.
+
+        Binary search over the (sorted) range starts; empty ranges are
+        skipped because an empty range can contain no index.
+        """
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"global index {index} out of range [0, {self.length})"
+            )
+        lo_rank, hi_rank = 0, self.nranks - 1
+        while lo_rank < hi_rank:
+            mid = (lo_rank + hi_rank) // 2
+            if self.bounds[mid][1] <= index:
+                lo_rank = mid + 1
+            else:
+                hi_rank = mid
+        return lo_rank
+
+    def resized(self, new_length: int) -> "Layout":
+        """Layout after the paper's grow/shrink rule.
+
+        Shrinking discards data above ``new_length``; growing assigns
+        the new elements "to the ownership of the computing thread
+        which owned the last elements of the old sequence" (§2.2).  An
+        all-empty sequence grows onto the last rank.
+        """
+        if new_length < 0:
+            raise DistributionError("sequence length cannot be negative")
+        if new_length == self.length:
+            return self
+        if new_length > self.length:
+            grower = self.nranks - 1
+            for r in range(self.nranks - 1, -1, -1):
+                if self.local_length(r) > 0:
+                    grower = r
+                    break
+            bounds = []
+            for r, (lo, hi) in enumerate(self.bounds):
+                if r < grower:
+                    bounds.append((lo, hi))
+                elif r == grower:
+                    bounds.append((lo, new_length))
+                else:
+                    bounds.append((new_length, new_length))
+            return Layout(tuple(bounds))
+        bounds = []
+        for lo, hi in self.bounds:
+            bounds.append((min(lo, new_length), min(hi, new_length)))
+        return Layout(tuple(bounds))
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.bounds)
+
+    @staticmethod
+    def from_local_lengths(lengths: Sequence[int]) -> "Layout":
+        """Build a layout from per-rank local lengths (conversion ctor)."""
+        bounds = []
+        cursor = 0
+        for n in lengths:
+            if n < 0:
+                raise DistributionError("local length cannot be negative")
+            bounds.append((cursor, cursor + n))
+            cursor += n
+        return Layout(tuple(bounds))
+
+
+class DistTemplate:
+    """Base class of distribution templates.
+
+    Subclasses implement :meth:`layout`, binding the template to a
+    concrete global length (and, for rank-agnostic templates, a rank
+    count).
+    """
+
+    #: Rank count the template is bound to, or ``None`` if it adapts
+    #: to whatever group instantiates it.
+    nranks: int | None = None
+
+    def layout(self, length: int, nranks: int | None = None) -> Layout:
+        raise NotImplementedError
+
+    def _resolve_nranks(self, nranks: int | None) -> int:
+        if self.nranks is not None:
+            if nranks is not None and nranks != self.nranks:
+                raise DistributionError(
+                    f"template is bound to {self.nranks} ranks but the "
+                    f"group has {nranks}"
+                )
+            return self.nranks
+        if nranks is None:
+            raise DistributionError(
+                "template is not bound to a rank count; pass nranks"
+            )
+        if nranks <= 0:
+            raise DistributionError("rank count must be positive")
+        return nranks
+
+
+class BlockTemplate(DistTemplate):
+    """Uniform blockwise distribution — the paper's default.
+
+    Uses the balanced-block rule: with length ``N`` over ``P`` ranks,
+    the first ``N mod P`` ranks own ``ceil(N/P)`` elements and the rest
+    own ``floor(N/P)``.  Every rank's block is contiguous and blocks
+    appear in rank order.
+    """
+
+    def __init__(self, nranks: int | None = None) -> None:
+        if nranks is not None and nranks <= 0:
+            raise DistributionError("rank count must be positive")
+        self.nranks = nranks
+
+    def layout(self, length: int, nranks: int | None = None) -> Layout:
+        if length < 0:
+            raise DistributionError("sequence length cannot be negative")
+        p = self._resolve_nranks(nranks)
+        base, extra = divmod(length, p)
+        bounds = []
+        cursor = 0
+        for r in range(p):
+            n = base + (1 if r < extra else 0)
+            bounds.append((cursor, cursor + n))
+            cursor += n
+        return Layout(tuple(bounds))
+
+    def __repr__(self) -> str:
+        return f"BlockTemplate(nranks={self.nranks})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlockTemplate) and other.nranks == self.nranks
+
+    def __hash__(self) -> int:
+        return hash(("BlockTemplate", self.nranks))
+
+
+class Proportions(DistTemplate):
+    """Distribute proportionally to integer or real weights.
+
+    ``Proportions(2, 4, 2, 4)`` over 12 elements gives local lengths
+    ``(2, 4, 2, 4)`` scaled to the sequence length.  Rounding uses the
+    largest-remainder method so local lengths always sum exactly to the
+    global length, and a weight of zero guarantees an empty block.
+    """
+
+    def __init__(self, *weights: float) -> None:
+        if not weights:
+            raise DistributionError("Proportions requires at least one weight")
+        if any(w < 0 for w in weights):
+            raise DistributionError("proportion weights cannot be negative")
+        if not any(w > 0 for w in weights):
+            raise DistributionError("at least one weight must be positive")
+        if any(not math.isfinite(w) for w in weights):
+            raise DistributionError("proportion weights must be finite")
+        self.weights = tuple(float(w) for w in weights)
+        self.nranks = len(weights)
+
+    def layout(self, length: int, nranks: int | None = None) -> Layout:
+        if length < 0:
+            raise DistributionError("sequence length cannot be negative")
+        self._resolve_nranks(nranks)
+        total = sum(self.weights)
+        quotas = [length * w / total for w in self.weights]
+        floors = [int(math.floor(q)) for q in quotas]
+        shortfall = length - sum(floors)
+        # Largest remainders win the leftover elements; ties resolve to
+        # the lower rank for determinism.
+        order = sorted(
+            range(len(quotas)),
+            key=lambda r: (-(quotas[r] - floors[r]), r),
+        )
+        for r in order[:shortfall]:
+            floors[r] += 1
+        return Layout.from_local_lengths(floors)
+
+    def __repr__(self) -> str:
+        return f"Proportions{self.weights}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Proportions) and other.weights == self.weights
+
+    def __hash__(self) -> int:
+        return hash(("Proportions", self.weights))
+
+
+class ExplicitTemplate(DistTemplate):
+    """A template fixing exact local lengths, independent of scaling.
+
+    Unlike :class:`Proportions`, the lengths are absolute: the template
+    only applies to sequences whose global length equals the sum of
+    the local lengths (or is produced by :meth:`Layout.resized`).
+    """
+
+    def __init__(self, local_lengths: Sequence[int]) -> None:
+        self._layout = Layout.from_local_lengths(local_lengths)
+        self.nranks = self._layout.nranks
+
+    def layout(self, length: int, nranks: int | None = None) -> Layout:
+        self._resolve_nranks(nranks)
+        if length != self._layout.length:
+            raise DistributionError(
+                f"explicit template covers {self._layout.length} elements, "
+                f"cannot lay out a sequence of length {length}"
+            )
+        return self._layout
+
+    def __repr__(self) -> str:
+        return f"ExplicitTemplate({list(self._layout.local_lengths())})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExplicitTemplate)
+            and other._layout == self._layout
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExplicitTemplate", self._layout.bounds))

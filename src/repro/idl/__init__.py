@@ -1,0 +1,38 @@
+"""The PARDIS IDL compiler.
+
+CORBA IDL plus the paper's extension — the distributed sequence::
+
+    typedef dsequence<double, 1024> diff_array;
+
+    interface diff_object {
+        void diffusion(in long timestep, inout diff_array darray);
+    };
+
+The compiler pipeline is the classic one: :mod:`lexer` → :mod:`parser`
+(producing the :mod:`ast` tree) → :mod:`semantics` (scopes, name
+resolution, typedef expansion, inheritance flattening) → :mod:`codegen`
+(Python proxies, skeletons, typecodes).  :func:`compile_idl` runs the
+whole pipeline and returns the generated module.
+"""
+
+from repro.idl.errors import IdlError, IdlSyntaxError, IdlSemanticError
+from repro.idl.compiler import (
+    CompiledIdl,
+    compile_idl,
+    compile_idl_file,
+    compile_idl_module,
+    generate_python,
+    preprocess_includes,
+)
+
+__all__ = [
+    "CompiledIdl",
+    "IdlError",
+    "IdlSemanticError",
+    "IdlSyntaxError",
+    "compile_idl",
+    "compile_idl_file",
+    "compile_idl_module",
+    "generate_python",
+    "preprocess_includes",
+]

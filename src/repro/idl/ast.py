@@ -1,0 +1,221 @@
+"""Abstract syntax of the PARDIS IDL dialect.
+
+Nodes are plain dataclasses with source positions for diagnostics.
+Type references stay symbolic (:class:`NamedType`) after parsing; the
+semantic pass resolves them against the scope tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Type expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BasicType:
+    """Built-in type: short/long/longlong/ushort/…/boolean/char/octet/void."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StringType:
+    #: ``None`` or a ConstExpr evaluated by the semantic pass.
+    bound: object = None
+
+
+@dataclass(frozen=True)
+class SequenceType:
+    element: "TypeExpr"
+    #: ``None`` or a ConstExpr evaluated by the semantic pass.
+    bound: object = None
+
+
+@dataclass(frozen=True)
+class DistSpec:
+    """Distribution annotation of a dsequence: 'block' or proportions."""
+
+    kind: str  # 'block' | 'proportions'
+    weights: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class DSequenceType:
+    """The paper's distributed sequence type."""
+
+    element: "TypeExpr"
+    #: ``None`` or a ConstExpr evaluated by the semantic pass.
+    bound: object = None
+    dist: DistSpec | None = None
+
+
+@dataclass(frozen=True)
+class NamedType:
+    """A (possibly scoped) reference: ``diff_array``, ``M::Color``."""
+
+    parts: tuple[str, ...]
+    line: int = 0
+    column: int = 0
+
+    @property
+    def text(self) -> str:
+        return "::".join(self.parts)
+
+
+TypeExpr = Union[
+    BasicType, StringType, SequenceType, DSequenceType, NamedType
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Declaration:
+    name: str
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class Typedef(Declaration):
+    """``typedef <type> <name>`` with optional array dimensions."""
+
+    type: TypeExpr = None  # type: ignore[assignment]
+    #: ConstExpr per dimension, evaluated by the semantic pass.
+    array_dims: tuple = ()
+
+
+@dataclass
+class StructMember:
+    name: str
+    type: TypeExpr
+    #: ConstExpr per dimension, evaluated by the semantic pass.
+    array_dims: tuple = ()
+    line: int = 0
+
+
+@dataclass
+class Struct(Declaration):
+    members: list[StructMember] = field(default_factory=list)
+
+
+@dataclass
+class Enum(Declaration):
+    members: tuple[str, ...] = ()
+
+
+@dataclass
+class ExceptionDecl(Declaration):
+    members: list[StructMember] = field(default_factory=list)
+
+
+@dataclass
+class UnionCase:
+    """One arm of a union: its labels (or default) and member."""
+
+    labels: tuple = ()  # ConstExpr per 'case' label
+    is_default: bool = False
+    member_name: str = ""
+    type: TypeExpr = None  # type: ignore[assignment]
+    #: ConstExpr per dimension, evaluated by the semantic pass.
+    array_dims: tuple = ()
+    line: int = 0
+
+
+@dataclass
+class UnionDecl(Declaration):
+    discriminator: TypeExpr = None  # type: ignore[assignment]
+    cases: list[UnionCase] = field(default_factory=list)
+
+
+@dataclass
+class Const(Declaration):
+    type: TypeExpr = None  # type: ignore[assignment]
+    expr: "ConstExpr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Param:
+    name: str
+    direction: str  # 'in' | 'out' | 'inout'
+    type: TypeExpr
+    line: int = 0
+
+
+@dataclass
+class Operation(Declaration):
+    return_type: TypeExpr = None  # type: ignore[assignment]
+    params: list[Param] = field(default_factory=list)
+    raises: list[NamedType] = field(default_factory=list)
+    oneway: bool = False
+
+
+@dataclass
+class Attribute(Declaration):
+    type: TypeExpr = None  # type: ignore[assignment]
+    readonly: bool = False
+
+
+@dataclass
+class Interface(Declaration):
+    bases: list[NamedType] = field(default_factory=list)
+    body: list[Declaration] = field(default_factory=list)
+
+
+@dataclass
+class Module(Declaration):
+    body: list[Declaration] = field(default_factory=list)
+
+
+@dataclass
+class Specification:
+    """A whole translation unit."""
+
+    body: list[Declaration] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Constant expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """int/float/str/bool/char literal value."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """Reference to another constant (or enum member)."""
+
+    parts: tuple[str, ...]
+    line: int = 0
+
+    @property
+    def text(self) -> str:
+        return "::".join(self.parts)
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # '-', '+', '~'
+    operand: "ConstExpr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # '+', '-', '*', '/', '%', '<<', '>>', '|', '&', '^'
+    left: "ConstExpr"
+    right: "ConstExpr"
+
+
+ConstExpr = Union[Literal, ConstRef, UnaryOp, BinaryOp]

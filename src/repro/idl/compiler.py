@@ -1,0 +1,133 @@
+"""IDL compiler driver: source text → importable Python module."""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import types
+from dataclasses import dataclass
+
+from repro.idl import codegen, parser, semantics
+from repro.idl.errors import IdlError
+from repro.idl.semantics import CompilationUnit
+
+_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"\s*$', re.MULTILINE)
+
+
+def preprocess_includes(
+    source: str,
+    include_dirs: tuple[str, ...] = (),
+    *,
+    _stack: tuple[str, ...] = (),
+) -> str:
+    """Expand ``#include "file.idl"`` directives textually.
+
+    Includes resolve against ``include_dirs`` in order; each file is
+    included at most once per translation unit (implicit include
+    guard), and cycles are an error.  Other ``#`` lines remain for the
+    lexer to skip, as before.
+    """
+    seen = set(_stack)
+
+    def expand(text: str, stack: tuple[str, ...]) -> str:
+        def replace(match: re.Match) -> str:
+            name = match.group(1)
+            if name in stack:
+                raise IdlError(
+                    f"circular #include of {name!r} "
+                    f"(via {' -> '.join(stack)})"
+                )
+            if name in seen:
+                return ""  # already included in this unit
+            for directory in include_dirs or (".",):
+                path = os.path.join(directory, name)
+                if os.path.exists(path):
+                    with open(path, "r", encoding="utf-8") as handle:
+                        seen.add(name)
+                        return expand(
+                            handle.read(), stack + (name,)
+                        )
+            raise IdlError(
+                f"#include {name!r} not found in "
+                f"{list(include_dirs or ('.',))}"
+            )
+
+        return _INCLUDE.sub(replace, text)
+
+    return expand(source, _stack)
+
+
+@dataclass
+class CompiledIdl:
+    """The result of a compilation: analysis output, generated source,
+    and the executed module."""
+
+    unit: CompilationUnit
+    source: str
+    module: types.ModuleType
+
+    def __getattr__(self, name: str):
+        # Convenience: compiled.diff_object instead of
+        # compiled.module.diff_object.
+        try:
+            return getattr(self.module, name)
+        except AttributeError:
+            raise AttributeError(
+                f"compiled IDL defines no name {name!r}"
+            ) from None
+
+
+def analyze_idl(source: str) -> CompilationUnit:
+    """Parse + semantic analysis, no code generation."""
+    return semantics.analyze(parser.parse(source))
+
+
+def generate_python(source: str) -> str:
+    """Compile IDL to Python source text (what ``-o file.py`` writes)."""
+    return codegen.generate(analyze_idl(source))
+
+
+def compile_idl(
+    source: str, module_name: str = "pardis_idl"
+) -> CompiledIdl:
+    """Full pipeline: returns the generated module, executed.
+
+    The module is *not* registered in :data:`sys.modules`; use
+    :func:`compile_idl_module` when importability elsewhere matters.
+    """
+    unit = analyze_idl(source)
+    text = codegen.generate(unit)
+    module = types.ModuleType(module_name)
+    module.__dict__["__idl_source__"] = source
+    exec(compile(text, f"<idl:{module_name}>", "exec"), module.__dict__)
+    return CompiledIdl(unit=unit, source=text, module=module)
+
+
+def compile_idl_module(
+    source: str, module_name: str
+) -> types.ModuleType:
+    """Compile and register under ``module_name`` in sys.modules, so
+    worker threads and pickled references can import it."""
+    compiled = compile_idl(source, module_name)
+    sys.modules[module_name] = compiled.module
+    return compiled.module
+
+
+def compile_idl_file(
+    path: str,
+    module_name: str | None = None,
+    include_dirs: tuple[str, ...] = (),
+) -> CompiledIdl:
+    """Compile an ``.idl`` file from disk, expanding ``#include``
+    directives (the file's own directory is always searched)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    own_dir = os.path.dirname(os.path.abspath(path))
+    source = preprocess_includes(
+        source, (own_dir, *include_dirs)
+    )
+    if module_name is None:
+        stem = path.rsplit("/", 1)[-1]
+        module_name = stem.removesuffix(".idl").replace("-", "_")
+    return compile_idl(source, module_name)

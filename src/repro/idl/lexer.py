@@ -1,0 +1,242 @@
+"""Hand-written lexer for the PARDIS IDL dialect.
+
+Produces a flat token stream with source positions.  Handles CORBA IDL
+lexical structure: ``//`` and ``/* */`` comments, ``#`` preprocessor
+lines (ignored, as we compile single translation units), integer
+literals in decimal/hex/octal, floating literals, character and string
+literals with the usual escapes, identifiers and the punctuation the
+grammar needs (including ``::`` and ``<<``/``>>`` for const
+expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.idl.errors import IdlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "interface",
+        "typedef",
+        "struct",
+        "enum",
+        "exception",
+        "union",
+        "switch",
+        "case",
+        "default",
+        "const",
+        "attribute",
+        "readonly",
+        "oneway",
+        "raises",
+        "in",
+        "out",
+        "inout",
+        "void",
+        "short",
+        "long",
+        "unsigned",
+        "float",
+        "double",
+        "boolean",
+        "char",
+        "octet",
+        "string",
+        "sequence",
+        "dsequence",
+        "block",
+        "proportions",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character punctuation, longest first.
+_PUNCT2 = ("::", "<<", ">>")
+_PUNCT1 = "{}();,<>=[]+-*/%|&^~:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword', 'int', 'float', 'string', 'char', 'punct', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming tokenizer over one IDL translation unit."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> IdlSyntaxError:
+        return IdlSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        chunk = self.source[self.pos : self.pos + n]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += n
+        return chunk
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise IdlSyntaxError(
+                            "unterminated /* comment", start_line
+                        )
+                    self._advance()
+                self._advance(2)
+            elif ch == "#" and self.column == 1:
+                # Preprocessor line (e.g. #include, #pragma): skipped.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, column = self.line, self.column
+            if self.pos >= len(self.source):
+                yield Token("eof", "", line, column)
+                return
+            ch = self._peek()
+            if ch.isalpha() or ch == "_":
+                yield self._identifier(line, column)
+            elif ch.isdigit() or (
+                ch == "." and self._peek(1).isdigit()
+            ):
+                yield self._number(line, column)
+            elif ch == '"':
+                yield self._string(line, column)
+            elif ch == "'":
+                yield self._char(line, column)
+            else:
+                yield self._punct(line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._is_hex(self._peek()):
+                raise self.error("malformed hexadecimal literal")
+            while self._is_hex(self._peek()):
+                self._advance()
+            return Token("int", self.source[start : self.pos], line, column)
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "eE":
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            if not self._peek().isdigit():
+                raise self.error("malformed exponent in float literal")
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        return Token("float" if is_float else "int", text, line, column)
+
+    @staticmethod
+    def _is_hex(ch: str) -> bool:
+        return bool(ch) and ch in "0123456789abcdefABCDEF"
+
+    _ESCAPES = {
+        "n": "\n",
+        "t": "\t",
+        "r": "\r",
+        "0": "\0",
+        "\\": "\\",
+        '"': '"',
+        "'": "'",
+    }
+
+    def _read_escaped(self, terminator: str) -> str:
+        ch = self._peek()
+        if not ch or ch == "\n":
+            raise self.error(f"unterminated {terminator} literal")
+        if ch == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in self._ESCAPES:
+                raise self.error(f"unknown escape sequence '\\{escape}'")
+            self._advance()
+            return self._ESCAPES[escape]
+        self._advance()
+        return ch
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while self._peek() != '"':
+            chars.append(self._read_escaped("string"))
+        self._advance()  # closing quote
+        return Token("string", "".join(chars), line, column)
+
+    def _char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        value = self._read_escaped("character")
+        if self._peek() != "'":
+            raise self.error("character literal must contain one character")
+        self._advance()
+        return Token("char", value, line, column)
+
+    def _punct(self, line: int, column: int) -> Token:
+        two = self.source[self.pos : self.pos + 2]
+        if two in _PUNCT2:
+            self._advance(2)
+            return Token("punct", two, line, column)
+        ch = self._peek()
+        if ch in _PUNCT1:
+            self._advance()
+            return Token("punct", ch, line, column)
+        raise self.error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a full translation unit (always ends with an eof token)."""
+    return list(Lexer(source).tokens())

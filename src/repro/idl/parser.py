@@ -1,0 +1,590 @@
+"""Recursive-descent parser for the PARDIS IDL dialect.
+
+Grammar (CORBA IDL subset plus the ``dsequence`` extension)::
+
+    specification  : definition+
+    definition     : module | interface | typedef | struct | enum
+                   | exception | union | const
+    module         : "module" IDENT "{" definition+ "}" ";"
+    interface      : "interface" IDENT [":" scoped ("," scoped)*]
+                     "{" export* "}" ";"
+    export         : operation | attribute | typedef | struct | enum
+                   | exception | const
+    operation      : ["oneway"] type_or_void IDENT "(" params? ")"
+                     ["raises" "(" scoped ("," scoped)* ")"] ";"
+    attribute      : ["readonly"] "attribute" type IDENT ";"
+    param          : ("in"|"out"|"inout") type IDENT
+    typedef        : "typedef" type declarator ";"
+    declarator     : IDENT ("[" const_expr "]")*
+    struct         : "struct" IDENT "{" member+ "}" ";"
+    member         : type declarator ";"
+    enum           : "enum" IDENT "{" IDENT ("," IDENT)* "}" ";"
+    exception      : "exception" IDENT "{" member* "}" ";"
+    union          : "union" IDENT "switch" "(" type ")"
+                     "{" union_case+ "}" ";"
+    union_case     : ("case" const_expr ":" | "default" ":")+
+                     type declarator ";"
+    const          : "const" type IDENT "=" const_expr ";"
+    type           : basic | string_type | sequence | dsequence | scoped
+    string_type    : "string" ["<" const_expr ">"]
+    sequence       : "sequence" "<" type ["," const_expr] ">"
+    dsequence      : "dsequence" "<" type ["," const_expr] ["," dist] ">"
+    dist           : "block" | "proportions" "(" INT ("," INT)* ")"
+
+Constant expressions support the CORBA operator set over integer,
+float, boolean, char and string literals, with the usual precedence
+(``|`` < ``^`` < ``&`` < shifts < additive < multiplicative < unary).
+"""
+
+from __future__ import annotations
+
+from repro.idl import ast
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.lexer import Token, tokenize
+
+#: Basic-type spellings, including the two-word forms.
+_BASIC_STARTERS = frozenset(
+    {
+        "short",
+        "long",
+        "unsigned",
+        "float",
+        "double",
+        "boolean",
+        "char",
+        "octet",
+    }
+)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> IdlSyntaxError:
+        token = token or self._current
+        return IdlSyntaxError(message, token.line, token.column)
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        if self._check(kind, value):
+            return self._advance()
+        want = value if value is not None else kind
+        got = self._current.value or self._current.kind
+        raise self._error(f"expected {want!r}, found {got!r}")
+
+    def _expect_close_angle(self) -> None:
+        """Consume '>' where the lexer may have produced '>>' (the
+        nested-template problem, e.g. ``sequence<sequence<long>>``):
+        split the token, leaving one '>' for the outer closer."""
+        token = self._current
+        if token.kind == "punct" and token.value == ">>":
+            self._tokens[self._index] = Token(
+                "punct", ">", token.line, token.column + 1
+            )
+            return
+        self._expect("punct", ">")
+
+    def _expect_ident(self, what: str) -> Token:
+        if self._check("ident"):
+            return self._advance()
+        raise self._error(
+            f"expected {what} name, found "
+            f"{self._current.value or self._current.kind!r}"
+        )
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> ast.Specification:
+        spec = ast.Specification()
+        while not self._check("eof"):
+            spec.body.append(self._definition())
+        if not spec.body:
+            raise self._error("empty IDL specification")
+        return spec
+
+    # -- declarations ----------------------------------------------------------
+
+    def _definition(self) -> ast.Declaration:
+        token = self._current
+        if token.kind != "keyword":
+            raise self._error(
+                f"expected a definition, found {token.value!r}"
+            )
+        if token.value == "module":
+            return self._module()
+        if token.value == "interface":
+            return self._interface()
+        return self._common_decl()
+
+    def _common_decl(self) -> ast.Declaration:
+        """Declarations legal both at top level and inside interfaces."""
+        token = self._current
+        if token.value == "typedef":
+            return self._typedef()
+        if token.value == "struct":
+            return self._struct()
+        if token.value == "enum":
+            return self._enum()
+        if token.value == "exception":
+            return self._exception()
+        if token.value == "union":
+            return self._union()
+        if token.value == "const":
+            return self._const()
+        raise self._error(f"unexpected keyword {token.value!r}")
+
+    def _module(self) -> ast.Module:
+        start = self._expect("keyword", "module")
+        name = self._expect_ident("module")
+        self._expect("punct", "{")
+        node = ast.Module(name.value, start.line, start.column)
+        while not self._check("punct", "}"):
+            node.body.append(self._definition())
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        if not node.body:
+            raise self._error(f"module '{node.name}' is empty", start)
+        return node
+
+    def _interface(self) -> ast.Interface:
+        start = self._expect("keyword", "interface")
+        name = self._expect_ident("interface")
+        node = ast.Interface(name.value, start.line, start.column)
+        if self._accept("punct", ":"):
+            node.bases.append(self._scoped_name())
+            while self._accept("punct", ","):
+                node.bases.append(self._scoped_name())
+        self._expect("punct", "{")
+        while not self._check("punct", "}"):
+            node.body.append(self._export())
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        return node
+
+    def _export(self) -> ast.Declaration:
+        token = self._current
+        if token.kind == "keyword" and token.value in (
+            "typedef",
+            "struct",
+            "enum",
+            "exception",
+            "union",
+            "const",
+        ):
+            return self._common_decl()
+        if token.kind == "keyword" and token.value in (
+            "attribute",
+            "readonly",
+        ):
+            return self._attribute()
+        return self._operation()
+
+    def _attribute(self) -> ast.Attribute:
+        start = self._current
+        readonly = bool(self._accept("keyword", "readonly"))
+        self._expect("keyword", "attribute")
+        type_expr = self._type_spec()
+        name = self._expect_ident("attribute")
+        self._expect("punct", ";")
+        return ast.Attribute(
+            name.value,
+            start.line,
+            start.column,
+            type=type_expr,
+            readonly=readonly,
+        )
+
+    def _operation(self) -> ast.Operation:
+        start = self._current
+        oneway = bool(self._accept("keyword", "oneway"))
+        if self._accept("keyword", "void"):
+            return_type: ast.TypeExpr = ast.BasicType("void")
+        else:
+            return_type = self._type_spec()
+        name = self._expect_ident("operation")
+        node = ast.Operation(
+            name.value,
+            start.line,
+            start.column,
+            return_type=return_type,
+            oneway=oneway,
+        )
+        self._expect("punct", "(")
+        if not self._check("punct", ")"):
+            node.params.append(self._param())
+            while self._accept("punct", ","):
+                node.params.append(self._param())
+        self._expect("punct", ")")
+        if self._accept("keyword", "raises"):
+            self._expect("punct", "(")
+            node.raises.append(self._scoped_name())
+            while self._accept("punct", ","):
+                node.raises.append(self._scoped_name())
+            self._expect("punct", ")")
+        self._expect("punct", ";")
+        return node
+
+    def _param(self) -> ast.Param:
+        token = self._current
+        direction = None
+        for mode in ("in", "out", "inout"):
+            if self._accept("keyword", mode):
+                direction = mode
+                break
+        if direction is None:
+            raise self._error(
+                "parameter must start with 'in', 'out' or 'inout'"
+            )
+        type_expr = self._type_spec()
+        name = self._expect_ident("parameter")
+        return ast.Param(name.value, direction, type_expr, token.line)
+
+    def _typedef(self) -> ast.Typedef:
+        start = self._expect("keyword", "typedef")
+        type_expr = self._type_spec()
+        name = self._expect_ident("typedef")
+        dims = self._array_dims()
+        self._expect("punct", ";")
+        return ast.Typedef(
+            name.value,
+            start.line,
+            start.column,
+            type=type_expr,
+            array_dims=dims,
+        )
+
+    def _array_dims(self) -> tuple:
+        dims: list[ast.ConstExpr] = []
+        while self._accept("punct", "["):
+            dims.append(self._const_expr())
+            self._expect("punct", "]")
+        return tuple(dims)
+
+    def _struct_members(self, owner: str) -> list[ast.StructMember]:
+        members: list[ast.StructMember] = []
+        while not self._check("punct", "}"):
+            type_expr = self._type_spec()
+            while True:
+                name = self._expect_ident(f"{owner} member")
+                dims = self._array_dims()
+                members.append(
+                    ast.StructMember(
+                        name.value, type_expr, dims, name.line
+                    )
+                )
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", ";")
+        return members
+
+    def _struct(self) -> ast.Struct:
+        start = self._expect("keyword", "struct")
+        name = self._expect_ident("struct")
+        self._expect("punct", "{")
+        members = self._struct_members("struct")
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        if not members:
+            raise self._error(f"struct '{name.value}' has no members", start)
+        return ast.Struct(
+            name.value, start.line, start.column, members=members
+        )
+
+    def _enum(self) -> ast.Enum:
+        start = self._expect("keyword", "enum")
+        name = self._expect_ident("enum")
+        self._expect("punct", "{")
+        members = [self._expect_ident("enum member").value]
+        while self._accept("punct", ","):
+            members.append(self._expect_ident("enum member").value)
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        return ast.Enum(
+            name.value, start.line, start.column, members=tuple(members)
+        )
+
+    def _exception(self) -> ast.ExceptionDecl:
+        start = self._expect("keyword", "exception")
+        name = self._expect_ident("exception")
+        self._expect("punct", "{")
+        members = self._struct_members("exception")
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        return ast.ExceptionDecl(
+            name.value, start.line, start.column, members=members
+        )
+
+    def _union(self) -> ast.UnionDecl:
+        start = self._expect("keyword", "union")
+        name = self._expect_ident("union")
+        self._expect("keyword", "switch")
+        self._expect("punct", "(")
+        discriminator = self._type_spec()
+        self._expect("punct", ")")
+        self._expect("punct", "{")
+        cases: list[ast.UnionCase] = []
+        while not self._check("punct", "}"):
+            cases.append(self._union_case())
+        self._expect("punct", "}")
+        self._expect("punct", ";")
+        if not cases:
+            raise self._error(f"union '{name.value}' has no cases", start)
+        return ast.UnionDecl(
+            name.value,
+            start.line,
+            start.column,
+            discriminator=discriminator,
+            cases=cases,
+        )
+
+    def _union_case(self) -> ast.UnionCase:
+        start = self._current
+        labels: list[ast.ConstExpr] = []
+        is_default = False
+        while True:
+            if self._accept("keyword", "case"):
+                labels.append(self._const_expr())
+                self._expect("punct", ":")
+            elif self._accept("keyword", "default"):
+                is_default = True
+                self._expect("punct", ":")
+            else:
+                break
+        if not labels and not is_default:
+            raise self._error(
+                "union member must follow 'case' or 'default' labels"
+            )
+        type_expr = self._type_spec()
+        member = self._expect_ident("union member")
+        dims = self._array_dims()
+        self._expect("punct", ";")
+        return ast.UnionCase(
+            labels=tuple(labels),
+            is_default=is_default,
+            member_name=member.value,
+            type=type_expr,
+            array_dims=dims,
+            line=start.line,
+        )
+
+    def _const(self) -> ast.Const:
+        start = self._expect("keyword", "const")
+        type_expr = self._type_spec()
+        name = self._expect_ident("constant")
+        self._expect("punct", "=")
+        expr = self._const_expr()
+        self._expect("punct", ";")
+        return ast.Const(
+            name.value, start.line, start.column, type=type_expr, expr=expr
+        )
+
+    # -- types -------------------------------------------------------------
+
+    def _type_spec(self) -> ast.TypeExpr:
+        token = self._current
+        if token.kind == "keyword":
+            if token.value in _BASIC_STARTERS:
+                return ast.BasicType(self._basic_type_name())
+            if token.value == "string":
+                return self._string_type()
+            if token.value == "sequence":
+                return self._sequence_type()
+            if token.value == "dsequence":
+                return self._dsequence_type()
+            raise self._error(f"{token.value!r} is not a type")
+        if token.kind == "ident" or (
+            token.kind == "punct" and token.value == "::"
+        ):
+            return self._scoped_name()
+        raise self._error(f"expected a type, found {token.value!r}")
+
+    def _basic_type_name(self) -> str:
+        token = self._advance()
+        name = token.value
+        if name == "unsigned":
+            base = self._expect("keyword").value
+            if base == "short":
+                return "ushort"
+            if base == "long":
+                if self._accept("keyword", "long"):
+                    return "ulonglong"
+                return "ulong"
+            raise self._error(
+                f"'unsigned {base}' is not a type", token
+            )
+        if name == "long":
+            if self._accept("keyword", "long"):
+                return "longlong"
+            if self._accept("keyword", "double"):
+                raise self._error("'long double' is not supported", token)
+            return "long"
+        return name
+
+    def _string_type(self) -> ast.StringType:
+        self._expect("keyword", "string")
+        bound = None
+        if self._accept("punct", "<"):
+            bound = self._const_expr()
+            self._expect_close_angle()
+        return ast.StringType(bound)
+
+    def _sequence_type(self) -> ast.SequenceType:
+        self._expect("keyword", "sequence")
+        self._expect("punct", "<")
+        element = self._type_spec()
+        bound = None
+        if self._accept("punct", ","):
+            bound = self._const_expr()
+        self._expect_close_angle()
+        return ast.SequenceType(element, bound)
+
+    def _dsequence_type(self) -> ast.DSequenceType:
+        """``dsequence<element [, length] [, distribution]>``.
+
+        Both trailing arguments are optional (paper §2.2: "Both the
+        length and distribution are optional in the definition of the
+        sequence"); a distribution is recognised by its keyword.
+        """
+        self._expect("keyword", "dsequence")
+        self._expect("punct", "<")
+        element = self._type_spec()
+        bound = None
+        dist = None
+        if self._accept("punct", ","):
+            if self._check("keyword", "block") or self._check(
+                "keyword", "proportions"
+            ):
+                dist = self._dist_spec()
+            else:
+                bound = self._const_expr()
+                if self._accept("punct", ","):
+                    dist = self._dist_spec()
+        self._expect_close_angle()
+        return ast.DSequenceType(element, bound, dist)
+
+    def _dist_spec(self) -> ast.DistSpec:
+        if self._accept("keyword", "block"):
+            return ast.DistSpec("block")
+        self._expect("keyword", "proportions")
+        self._expect("punct", "(")
+        weights = [self._positive_int("proportion weight")]
+        while self._accept("punct", ","):
+            weights.append(self._positive_int("proportion weight"))
+        self._expect("punct", ")")
+        return ast.DistSpec("proportions", tuple(weights))
+
+    def _positive_int(self, what: str) -> int:
+        token = self._expect("int")
+        value = int(token.value, 0)
+        if value < 0:
+            raise self._error(f"{what} must be non-negative", token)
+        return value
+
+    def _scoped_name(self) -> ast.NamedType:
+        token = self._current
+        parts: list[str] = []
+        if self._accept("punct", "::"):
+            parts.append("")  # leading :: = file scope
+        parts.append(self._expect_ident("type").value)
+        while self._accept("punct", "::"):
+            parts.append(self._expect_ident("type").value)
+        return ast.NamedType(tuple(parts), token.line, token.column)
+
+    # -- constant expressions ---------------------------------------------
+
+    def _const_expr(self) -> ast.ConstExpr:
+        return self._or_expr()
+
+    def _binary_level(self, ops: tuple[str, ...], next_level) -> ast.ConstExpr:
+        left = next_level()
+        while self._current.kind == "punct" and self._current.value in ops:
+            op = self._advance().value
+            left = ast.BinaryOp(op, left, next_level())
+        return left
+
+    def _or_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("|",), self._xor_expr)
+
+    def _xor_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("^",), self._and_expr)
+
+    def _and_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("&",), self._shift_expr)
+
+    def _shift_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("<<", ">>"), self._add_expr)
+
+    def _add_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("+", "-"), self._mult_expr)
+
+    def _mult_expr(self) -> ast.ConstExpr:
+        return self._binary_level(("*", "/", "%"), self._unary_expr)
+
+    def _unary_expr(self) -> ast.ConstExpr:
+        if self._current.kind == "punct" and self._current.value in "-+~":
+            op = self._advance().value
+            return ast.UnaryOp(op, self._unary_expr())
+        return self._primary_expr()
+
+    def _primary_expr(self) -> ast.ConstExpr:
+        token = self._current
+        if token.kind == "int":
+            self._advance()
+            return ast.Literal(int(token.value, 0))
+        if token.kind == "float":
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind == "char":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return ast.Literal(token.value == "TRUE")
+        if token.kind == "ident" or (
+            token.kind == "punct" and token.value == "::"
+        ):
+            named = self._scoped_name()
+            return ast.ConstRef(named.parts, named.line)
+        if self._accept("punct", "("):
+            inner = self._const_expr()
+            self._expect("punct", ")")
+            return inner
+        raise self._error(
+            f"expected a constant expression, found {token.value!r}"
+        )
+
+
+def parse(source: str) -> ast.Specification:
+    """Parse a translation unit into an AST."""
+    return Parser(source).parse()

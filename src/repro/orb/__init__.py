@@ -1,0 +1,74 @@
+"""The PARDIS request broker.
+
+The ORB delivers requests from clients to objects.  For SPMD objects
+it is aware of every computing thread and "can transfer distributed
+arguments directly between the computing threads of the client and the
+server" (paper §1).  Layers, bottom-up:
+
+- :mod:`repro.orb.transport` — endpoints, ports and channels (the
+  NexusLite role).
+- :mod:`repro.orb.operation` — runtime descriptions of IDL operations,
+  shared by generated proxies and skeletons.
+- :mod:`repro.orb.request` — request/reply messages and their CDR
+  encoding (the GIOP role).
+- :mod:`repro.orb.reference` — object references (IORs) carrying the
+  endpoint set of an SPMD object.
+- :mod:`repro.orb.naming` — the naming domain used by ``_bind``.
+- :mod:`repro.orb.transfer` — the two distributed-argument transfer
+  methods evaluated in the paper (§3.2 centralized, §3.3 multi-port).
+- :mod:`repro.orb.adapter` — the server-side object adapter: servant
+  registration and the per-thread dispatch loop.
+- :mod:`repro.orb.proxy` — the client side: ``_bind`` / ``_spmd_bind``
+  and method invocation, blocking and future-returning.
+"""
+
+from repro.orb.operation import (
+    Direction,
+    OperationSpec,
+    ParamSpec,
+    RemoteError,
+    UserException,
+)
+from repro.orb.reference import ObjectReference
+from repro.orb.naming import NamingService, NamingError
+from repro.orb.transport import Channel, Endpoint, Port, TransportError
+from repro.orb.request import (
+    ReplyMessage,
+    RequestMessage,
+    decode_reply,
+    decode_request,
+)
+from repro.orb.transfer import (
+    CentralizedTransfer,
+    MultiPortTransfer,
+    TransferEngine,
+)
+from repro.orb.adapter import ObjectAdapter, Servant, ServantGroup
+from repro.orb.proxy import ClientProxy, BindMode
+
+__all__ = [
+    "BindMode",
+    "CentralizedTransfer",
+    "Channel",
+    "ClientProxy",
+    "Direction",
+    "Endpoint",
+    "MultiPortTransfer",
+    "NamingError",
+    "NamingService",
+    "ObjectAdapter",
+    "ObjectReference",
+    "OperationSpec",
+    "ParamSpec",
+    "Port",
+    "RemoteError",
+    "ReplyMessage",
+    "RequestMessage",
+    "Servant",
+    "ServantGroup",
+    "TransferEngine",
+    "TransportError",
+    "UserException",
+    "decode_reply",
+    "decode_request",
+]

@@ -1,0 +1,850 @@
+"""The object adapter: server-side activation and dispatch.
+
+A :class:`ServantGroup` is the server half of an SPMD object: it owns
+one computing thread per rank, each running a servant instance and a
+dispatch loop.  Requests arrive on the group's single request port —
+waited on by the communicating thread (rank 0) — and are delivered "to
+all the computing threads" (the defining property of an SPMD object,
+§2) by an internal broadcast, after which the transfer engine matching
+the request's mode moves the distributed arguments in.
+
+The group registers itself with the naming service on activation,
+publishing an object reference that carries the request port, the
+per-thread data ports (multi-port method), and the distribution
+templates the servant registered for its parameters (§2.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cdr.typecodes import DSequenceTC
+from repro.dist import (
+    BlockTemplate,
+    DistributedSequence,
+    Layout,
+    transfer_schedule,
+)
+from repro.dist.template import DistTemplate
+from repro.orb import request as wire
+from repro.orb.operation import (
+    OperationSpec,
+    RemoteError,
+    UserException,
+)
+from repro.orb.reference import ObjectReference
+from repro.orb.request import ReplyMessage, RequestMessage
+from repro.orb.transfer import (
+    ChunkCollector,
+    Tracer,
+    assemble_chunks,
+    decode_full_body,
+    decode_plain_body,
+    decompose,
+    encode_full_body,
+    encode_plain_body,
+    encode_system_exception,
+    encode_user_exception,
+    produced_slots,
+    reply_slots,
+    request_slots,
+    send_chunks,
+    server_layout,
+)
+from repro.orb.transport import (
+    Fabric,
+    KIND_CONTROL,
+    KIND_REPLY,
+    KIND_REQUEST,
+    Port,
+)
+from repro.rts.executor import SpmdExecutor, SpmdHandle
+from repro.rts.interface import MessagePassingRTS
+from repro.rts.mpi import GroupAbortedError, Intracomm
+
+#: Control payloads on the request port.
+CONTROL_SHUTDOWN = b"shutdown"
+
+
+@dataclass
+class ServantContext:
+    """Per-rank server-side state handed to servants and engines."""
+
+    rank: int
+    size: int
+    comm: Intracomm | None
+    rts: MessagePassingRTS | None
+    request_port: Port | None  # rank 0 only
+    data_port: Port
+    collector: ChunkCollector
+    fabric: Fabric
+    templates: dict[tuple[str, str], tuple]
+    tracer: Tracer | None = None
+    timeout: float = 60.0
+    #: Set by the servant group: collective drain of queued requests
+    #: (the §2.1 "interrupt its computation to process outstanding
+    #: requests" capability).  See :meth:`Servant.service_pending`.
+    service_fn: Callable[[int], int] | None = None
+
+
+class Servant:
+    """Base class of generated skeletons.
+
+    Implement one method per IDL operation.  The activation context is
+    available as :attr:`comm` / :attr:`rank` / :attr:`size` for
+    SPMD-aware implementations (e.g. to build result sequences over
+    the server group).
+    """
+
+    _interface: str = ""
+    _repo_id: str = ""
+    _operations: dict[str, OperationSpec] = {}
+    _pardis_ctx: ServantContext | None = None
+
+    @property
+    def ctx(self) -> ServantContext:
+        if self._pardis_ctx is None:
+            raise RuntimeError("servant is not activated")
+        return self._pardis_ctx
+
+    @property
+    def comm(self) -> Intracomm | None:
+        return self.ctx.comm
+
+    @property
+    def rank(self) -> int:
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self.ctx.size
+
+    def sequence(
+        self,
+        typedef: Any,
+        length: int,
+        template: DistTemplate | None = None,
+    ) -> DistributedSequence:
+        """Create a result sequence distributed over the server group."""
+        return typedef.create(length, comm=self.comm, template=template)
+
+    def service_pending(self, max_requests: int = 1) -> int:
+        """Interrupt the current computation to serve queued requests.
+
+        Paper §2.1: "PARDIS also allows the server to interrupt its
+        computation in order to process outstanding requests."
+        Collective: every computing thread of the object must call it
+        at the same point.  Processes up to ``max_requests`` requests
+        already queued on the object's request port (never blocks
+        waiting for new ones) and returns how many were served.
+        """
+        fn = self.ctx.service_fn
+        if fn is None:
+            raise RuntimeError(
+                "service_pending is only available on an activated "
+                "servant"
+            )
+        return fn(max_requests)
+
+
+# ---------------------------------------------------------------------------
+# Server-side request execution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_spec(
+    servant: Servant, operation: str
+) -> OperationSpec | None:
+    return servant._operations.get(operation)
+
+
+def _call_servant(
+    servant: Servant, spec: OperationSpec, args: list[Any]
+) -> tuple[str, Any]:
+    """Invoke the implementation method, classifying the outcome.
+
+    Returns ``('ok', produced)``, ``('user', (tc, members))`` or
+    ``('system', (category, message))`` — all picklable, so ranks can
+    agree on the outcome by allgather.
+    """
+    method = getattr(servant, spec.name, None)
+    if method is None or not callable(method):
+        return (
+            "system",
+            (
+                "NO_IMPLEMENT",
+                f"servant {type(servant).__name__} does not implement "
+                f"'{spec.name}'",
+            ),
+        )
+    try:
+        result = method(*args)
+        produced = decompose(
+            result, len(produced_slots(spec)), f"servant '{spec.name}'"
+        )
+        return ("ok", produced)
+    except UserException as exc:
+        if spec.exception_by_id(exc._tc.repo_id if exc._tc else "") is None:
+            return (
+                "system",
+                (
+                    "UNKNOWN",
+                    f"servant raised undeclared exception "
+                    f"{type(exc).__name__}",
+                ),
+            )
+        return ("user", exc)
+    except Exception as exc:  # noqa: BLE001 - reported to the client
+        return ("system", ("UNKNOWN", f"{type(exc).__name__}: {exc}"))
+
+
+def _agree_outcome(
+    ctx: ServantContext, outcome: tuple[str, Any]
+) -> tuple[str, Any]:
+    """All ranks must deliver the same outcome class; disagreement is
+    itself a system exception (a broken SPMD servant)."""
+    if ctx.comm is None:
+        return outcome
+    kinds = ctx.comm.allgather(outcome[0])
+    if all(k == kinds[0] for k in kinds):
+        return outcome
+    return (
+        "system",
+        (
+            "INTERNAL",
+            f"SPMD servant diverged: outcomes {sorted(set(kinds))} "
+            f"across threads",
+        ),
+    )
+
+
+def _error_reply(
+    request: RequestMessage, outcome: tuple[str, Any]
+) -> ReplyMessage:
+    kind, payload = outcome
+    if kind == "user":
+        return ReplyMessage(
+            request.request_id,
+            wire.STATUS_USER_EXCEPTION,
+            encode_user_exception(payload),
+        )
+    category, message = payload
+    return ReplyMessage(
+        request.request_id,
+        wire.STATUS_SYSTEM_EXCEPTION,
+        encode_system_exception(category, message),
+    )
+
+
+class _ServerEngine:
+    """Executes one request on one rank (all ranks run this in
+    lockstep)."""
+
+    def __init__(self, ctx: ServantContext, servant: Servant) -> None:
+        self.ctx = ctx
+        self.servant = servant
+
+    # -- shared ----------------------------------------------------------
+
+    def _bcast(self, value: Any) -> Any:
+        if self.ctx.rts is None:
+            return value
+        return self.ctx.rts.broadcast(value, root=0)
+
+    def _reply(self, request: RequestMessage, reply: ReplyMessage) -> None:
+        if self.ctx.rank != 0 or request.oneway:
+            return
+        if request.reply_port is None:
+            return
+        port = self.ctx.request_port or self.ctx.data_port
+        if self.ctx.tracer:
+            self.ctx.tracer.emit(
+                "net-reply", request.mode, len(reply.body)
+            )
+        port.send(request.reply_port, reply.encode(), KIND_REPLY)
+
+    def _server_layout_for(
+        self, operation: str, param: str, length: int
+    ) -> Layout:
+        return server_layout(
+            self.ctx.templates.get((operation, param)),
+            length,
+            self.ctx.size,
+        )
+
+    def execute(self, request: RequestMessage) -> None:
+        spec = _resolve_spec(self.servant, request.operation)
+        if spec is None:
+            self._reply(
+                request,
+                ReplyMessage(
+                    request.request_id,
+                    wire.STATUS_SYSTEM_EXCEPTION,
+                    encode_system_exception(
+                        "BAD_OPERATION",
+                        f"interface {self.servant._interface!r} has no "
+                        f"operation {request.operation!r}",
+                    ),
+                ),
+            )
+            return
+        try:
+            if request.mode == wire.MODE_MULTIPORT:
+                self._execute_multiport(request, spec)
+            else:
+                self._execute_centralized(request, spec)
+        except (UserException, RemoteError, Exception) as exc:  # noqa: B014
+            # Engine-level failure (marshaling, schedule mismatch):
+            # report if this rank owns the reply channel.
+            self._reply(
+                request,
+                ReplyMessage(
+                    request.request_id,
+                    wire.STATUS_SYSTEM_EXCEPTION,
+                    encode_system_exception(
+                        "MARSHAL", f"{type(exc).__name__}: {exc}"
+                    ),
+                ),
+            )
+
+    # -- centralized (§3.2) ------------------------------------------------
+
+    def _execute_centralized(
+        self, request: RequestMessage, spec: OperationSpec
+    ) -> None:
+        ctx = self.ctx
+        slots = request_slots(spec)
+        if ctx.rank == 0:
+            values = decode_full_body(slots, request.body)
+            plain = {
+                s.name: values[s.name] for s in slots if not s.distributed
+            }
+        else:
+            values, plain = {}, None
+        plain = self._bcast(plain)
+
+        args: list[Any] = []
+        for slot in slots:
+            if not slot.distributed:
+                args.append(plain[slot.name])
+                continue
+            tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
+            length = (
+                len(values[slot.name]) if ctx.rank == 0 else 0
+            )
+            length = self._bcast(length)
+            layout = self._server_layout_for(spec.name, slot.name, length)
+            local = np.zeros(
+                layout.local_length(ctx.rank), dtype=tc.element_dtype
+            )
+            if ctx.rts is None:
+                local[:] = values[slot.name]
+            else:
+                steps = transfer_schedule(
+                    Layout(((0, length),)), layout
+                )
+                if ctx.tracer and ctx.rank == 0:
+                    for step in steps:
+                        if step.dst_rank != 0:
+                            ctx.tracer.emit(
+                                "rts-scatter", "server", 0, step.dst_rank,
+                                step.nelems,
+                            )
+                ctx.rts.scatter_chunks(
+                    np.asarray(values[slot.name])
+                    if ctx.rank == 0
+                    else None,
+                    steps,
+                    root=0,
+                    out=local,
+                )
+            args.append(
+                DistributedSequence(
+                    length,
+                    dtype=tc.element_dtype,
+                    comm=ctx.comm,
+                    bound=tc.bound,
+                    _layout=layout,
+                    _local=local,
+                )
+            )
+
+        outcome = _agree_outcome(
+            ctx, _call_servant(self.servant, spec, args)
+        )
+        # "After the invocation the server's computing threads
+        # synchronize and the communicating thread informs the client."
+        if ctx.rts is not None:
+            if ctx.tracer:
+                ctx.tracer.emit("sync", "server", "post-invoke")
+            ctx.rts.synchronize()
+        if outcome[0] != "ok":
+            self._reply(request, _error_reply(request, outcome))
+            return
+
+        produced = outcome[1]
+        produced_map = dict(
+            zip((s.name for s in produced_slots(spec)), produced)
+        )
+        reply_values: dict[str, Any] = {}
+        for slot in reply_slots(spec):
+            if slot.name in produced_map:
+                value = produced_map[slot.name]
+            else:
+                # inout distributed sequence: the mutated argument.
+                index = [s.name for s in slots].index(slot.name)
+                value = args[index]
+            if not slot.distributed:
+                reply_values[slot.name] = value
+                continue
+            if not isinstance(value, DistributedSequence):
+                raise RemoteError(
+                    f"servant produced {type(value).__name__} for "
+                    f"distributed slot '{slot.name}'",
+                    category="BAD_PARAM",
+                )
+            if ctx.rts is None:
+                reply_values[slot.name] = value.local_data()
+            else:
+                steps = transfer_schedule(
+                    value.layout, Layout(((0, value.length()),))
+                )
+                if ctx.tracer:
+                    for step in steps:
+                        if step.src_rank != 0:
+                            ctx.tracer.emit(
+                                "rts-gather", "server", step.src_rank, 0,
+                                step.nelems,
+                            )
+                full = ctx.rts.gather_chunks(
+                    value.local_data(), steps, root=0, out=None
+                )
+                reply_values[slot.name] = full
+        if ctx.rank == 0:
+            body = encode_full_body(reply_slots(spec), reply_values)
+            self._reply(
+                request,
+                ReplyMessage(request.request_id, wire.STATUS_OK, body),
+            )
+
+    # -- multi-port (§3.3) ---------------------------------------------------
+
+    def _execute_multiport(
+        self, request: RequestMessage, spec: OperationSpec
+    ) -> None:
+        ctx = self.ctx
+        slots = request_slots(spec)
+        plain = (
+            decode_plain_body(slots, request.body)
+            if ctx.rank == 0
+            else None
+        )
+        plain = self._bcast(plain)
+
+        client_layouts: dict[str, Layout] = {}
+        args: list[Any] = []
+        for slot in slots:
+            if not slot.distributed:
+                args.append(plain[slot.name])
+                continue
+            tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
+            lengths = request.layout_of(slot.name)
+            if lengths is None:
+                raise RemoteError(
+                    f"request is missing the layout of '{slot.name}'",
+                    category="MARSHAL",
+                )
+            client_layout = Layout.from_local_lengths(lengths)
+            client_layouts[slot.name] = client_layout
+            layout = self._server_layout_for(
+                spec.name, slot.name, client_layout.length
+            )
+            steps = transfer_schedule(client_layout, layout)
+            expected = sum(1 for s in steps if s.dst_rank == ctx.rank)
+            local = np.zeros(
+                layout.local_length(ctx.rank), dtype=tc.element_dtype
+            )
+            chunks = ctx.collector.collect(
+                request.request_id,
+                slot.name,
+                wire.PHASE_REQUEST,
+                expected,
+                timeout=ctx.timeout,
+            )
+            assemble_chunks(
+                chunks, layout, ctx.rank, tc.element_dtype, local
+            )
+            args.append(
+                DistributedSequence(
+                    client_layout.length,
+                    dtype=tc.element_dtype,
+                    comm=ctx.comm,
+                    bound=tc.bound,
+                    _layout=layout,
+                    _local=local,
+                )
+            )
+
+        outcome = _agree_outcome(
+            ctx, _call_servant(self.servant, spec, args)
+        )
+        if ctx.rts is not None:
+            if ctx.tracer:
+                ctx.tracer.emit("sync", "server", "post-invoke")
+            ctx.rts.synchronize()
+        if outcome[0] != "ok":
+            self._reply(request, _error_reply(request, outcome))
+            return
+
+        produced = outcome[1]
+        produced_map = dict(
+            zip((s.name for s in produced_slots(spec)), produced)
+        )
+        # Work out, deterministically on every rank, where each
+        # returned distributed value lives server-side and lands
+        # client-side.
+        returns: list[tuple[Any, DistributedSequence, Layout]] = []
+        dist_layouts = []
+        for slot in reply_slots(spec):
+            if slot.name in produced_map:
+                value = produced_map[slot.name]
+            else:
+                index = [s.name for s in slots].index(slot.name)
+                value = args[index]
+            if not slot.distributed:
+                continue
+            if not isinstance(value, DistributedSequence):
+                raise RemoteError(
+                    f"servant produced {type(value).__name__} for "
+                    f"distributed slot '{slot.name}'",
+                    category="BAD_PARAM",
+                )
+            if slot.param is not None and slot.param.direction.sends:
+                # inout: the client keeps its layout, resized if the
+                # servant changed the length.
+                client_layout = client_layouts[slot.name].resized(
+                    value.length()
+                )
+            else:
+                # out/return: the template the caller preset in the
+                # request header, defaulting to blockwise (§2.2).
+                from repro.idl.runtime import template_from_spec
+
+                template = template_from_spec(
+                    request.out_template_of(slot.name)
+                )
+                client_layout = (template or BlockTemplate()).layout(
+                    value.length(), request.client_nthreads
+                )
+            returns.append((slot, value, client_layout))
+            dist_layouts.append(
+                (
+                    slot.name,
+                    client_layout.local_lengths(),
+                    value.layout.local_lengths(),
+                )
+            )
+
+        if ctx.rank == 0:
+            reply_values = {
+                s.name: produced_map.get(s.name)
+                for s in reply_slots(spec)
+                if not s.distributed
+            }
+            body = encode_plain_body(reply_slots(spec), reply_values)
+            self._reply(
+                request,
+                ReplyMessage(
+                    request.request_id,
+                    wire.STATUS_OK,
+                    body,
+                    dist_layouts=tuple(dist_layouts),
+                ),
+            )
+        # Data flows straight from each computing thread to the
+        # client threads owning the overlap.
+        for slot, value, client_layout in returns:
+            steps = transfer_schedule(value.layout, client_layout)
+            send_chunks(
+                ctx.data_port,
+                request.client_data_ports,
+                steps,
+                ctx.rank,
+                value.local_data(),
+                request.request_id,
+                slot.name,
+                wire.PHASE_REPLY,
+                ctx.tracer,
+            )
+
+
+# ---------------------------------------------------------------------------
+# The servant group: activation + dispatch loop
+# ---------------------------------------------------------------------------
+
+
+class ObjectAdapter:
+    """Factory/registry for servant groups on one fabric + naming pair.
+
+    The :class:`repro.core.ORB` owns one of these.
+    """
+
+    def __init__(self, fabric: Fabric, naming: Any) -> None:
+        self.fabric = fabric
+        self.naming = naming
+        self._groups: list[ServantGroup] = []
+
+    def activate(
+        self,
+        name: str,
+        servant_factory: Callable[[ServantContext], Servant],
+        nthreads: int = 1,
+        *,
+        host: str = "",
+        multiport: bool = True,
+        templates: dict[tuple[str, str], Any] | None = None,
+        tracer: Tracer | None = None,
+        rts_style: str = "message-passing",
+    ) -> "ServantGroup":
+        group = ServantGroup(
+            self.fabric,
+            self.naming,
+            name,
+            servant_factory,
+            nthreads,
+            host=host,
+            multiport=multiport,
+            templates=templates,
+            tracer=tracer,
+            rts_style=rts_style,
+        )
+        group.start()
+        self._groups.append(group)
+        return group
+
+    def shutdown(self) -> None:
+        for group in self._groups:
+            group.shutdown()
+        self._groups.clear()
+
+
+class ServantGroup:
+    """One activated SPMD object: threads, ports, naming entry."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        naming: Any,
+        name: str,
+        servant_factory: Callable[[ServantContext], Servant],
+        nthreads: int,
+        *,
+        host: str = "",
+        multiport: bool = True,
+        templates: dict[tuple[str, str], Any] | None = None,
+        tracer: Tracer | None = None,
+        rts_style: str = "message-passing",
+    ) -> None:
+        if nthreads <= 0:
+            raise ValueError("an SPMD object needs at least one thread")
+        self.rts_style = rts_style
+        self.fabric = fabric
+        self.naming = naming
+        self.name = name
+        self.host = host
+        self.nthreads = nthreads
+        self.multiport = multiport
+        self.tracer = tracer
+        from repro.idl.runtime import template_to_spec
+
+        self._servant_factory = servant_factory
+        self._templates = {
+            key: template_to_spec(value)
+            for key, value in (templates or {}).items()
+        }
+        self._executor = SpmdExecutor(nthreads, name=f"server:{name}")
+        self._handle: SpmdHandle | None = None
+        self._request_port: Port | None = None
+        self._data_ports: list[Port] = []
+        self._ref: ObjectReference | None = None
+        self._started = threading.Event()
+        self._repo_id = ""
+
+    @property
+    def reference(self) -> ObjectReference:
+        if self._ref is None:
+            raise RuntimeError(f"servant group '{self.name}' not started")
+        return self._ref
+
+    def start(self) -> None:
+        """Open ports, register with naming, start dispatch threads."""
+        if self._handle is not None:
+            raise RuntimeError("servant group already started")
+        self._request_port = self.fabric.open_port(
+            f"{self.name}:request"
+        )
+        self._data_ports = [
+            self.fabric.open_port(f"{self.name}:data{r}")
+            for r in range(self.nthreads)
+        ]
+        self._handle = self._executor.spawn(self._rank_main)
+        # Wait for activation, failing fast if the servant factory (or
+        # any rank) dies before rank 0 reports ready.
+        for _ in range(600):
+            if self._started.wait(timeout=0.05):
+                break
+            if not self._handle.alive():
+                handle, self._handle = self._handle, None
+                for port in [self._request_port, *self._data_ports]:
+                    if port is not None and not port.closed:
+                        port.close()
+                handle.join(timeout=5)  # raises the rank's SpmdError
+                raise RuntimeError(
+                    f"servant group '{self.name}' died during activation"
+                )
+        else:
+            raise RuntimeError(
+                f"servant group '{self.name}' failed to activate"
+            )
+        data_addresses = (
+            tuple(p.address for p in self._data_ports)
+            if self.multiport
+            else ()
+        )
+        self._ref = ObjectReference(
+            object_key=self.name,
+            repo_id=self._repo_id,
+            request_port=self._request_port.address,
+            data_ports=data_addresses,
+            param_templates=tuple(sorted(self._templates.items())),
+        )
+        self.naming.bind(self.name, self._ref, host=self.host)
+
+    def _rank_main(self, rank_ctx: Any) -> int:
+        comm = rank_ctx.comm if self.nthreads > 1 else rank_ctx.comm
+        from repro.orb.proxy import make_rts
+
+        ctx = ServantContext(
+            rank=rank_ctx.rank,
+            size=self.nthreads,
+            comm=comm if self.nthreads > 1 else None,
+            rts=(
+                make_rts(self.rts_style, comm)
+                if self.nthreads > 1
+                else None
+            ),
+            request_port=(
+                self._request_port if rank_ctx.rank == 0 else None
+            ),
+            data_port=self._data_ports[rank_ctx.rank],
+            collector=ChunkCollector(self._data_ports[rank_ctx.rank]),
+            fabric=self.fabric,
+            templates=self._templates,
+            tracer=self.tracer,
+        )
+        servant = self._servant_factory(ctx)
+        if not isinstance(servant, Servant):
+            raise TypeError(
+                f"servant factory returned {type(servant).__name__}, "
+                f"not a Servant"
+            )
+        servant._pardis_ctx = ctx
+        if rank_ctx.rank == 0:
+            self._repo_id = servant._repo_id
+            self._started.set()
+        engine = _ServerEngine(ctx, servant)
+
+        def service_pending(max_requests: int) -> int:
+            """Drain already-queued requests mid-computation (§2.1)."""
+            processed = 0
+            while processed < max_requests:
+                if ctx.rank == 0:
+                    assert ctx.request_port is not None
+                    item = ctx.request_port.try_recv(kind=KIND_REQUEST)
+                    message = (
+                        wire.decode_request(item[2])
+                        if item is not None
+                        else None
+                    )
+                else:
+                    message = None
+                if ctx.rts is not None:
+                    message = ctx.rts.broadcast(message, root=0)
+                if message is None:
+                    break
+                engine.execute(message)
+                processed += 1
+            return processed
+
+        ctx.service_fn = service_pending
+        served = 0
+        while True:
+            request = self._next_request(ctx)
+            if request is None:
+                break
+            engine.execute(request)
+            served += 1
+        return served
+
+    def _next_request(
+        self, ctx: ServantContext
+    ) -> RequestMessage | None:
+        """Rank 0 receives; all ranks learn the request by broadcast —
+        "capable of satisfying services if and only if a request for
+        them is delivered to all the computing threads" (§2)."""
+        if ctx.rank == 0:
+            assert ctx.request_port is not None
+            message: RequestMessage | None = None
+            while True:
+                try:
+                    _src, kind, payload = ctx.request_port.recv(
+                        timeout=None
+                    )
+                except Exception:
+                    kind, payload = KIND_CONTROL, CONTROL_SHUTDOWN
+                if kind == KIND_CONTROL and payload == CONTROL_SHUTDOWN:
+                    break
+                try:
+                    message = wire.decode_request(payload)
+                except Exception:
+                    # Garbage on the wire must not kill the object:
+                    # drop the datagram and keep serving.
+                    continue
+                break
+        else:
+            message = None
+        if ctx.rts is not None:
+            try:
+                message = ctx.rts.broadcast(message, root=0)
+            except GroupAbortedError:
+                return None
+        return message
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop the dispatch loops and unregister."""
+        if self._handle is None:
+            return
+        if self._request_port is not None and not self._request_port.closed:
+            self.fabric.send(
+                self._data_ports[0].address
+                if self._data_ports
+                else self._request_port.address,
+                self._request_port.address,
+                CONTROL_SHUTDOWN,
+                KIND_CONTROL,
+            )
+        try:
+            self._handle.join(timeout)
+        finally:
+            self._handle = None
+            for port in [self._request_port, *self._data_ports]:
+                if port is not None and not port.closed:
+                    port.close()
+            try:
+                self.naming.unbind(self.name, host=self.host)
+            except Exception:
+                pass

@@ -1,0 +1,92 @@
+"""The PARDIS naming domain.
+
+"PARDIS provides a naming domain for objects.  At the time of binding
+the client has to identify which particular object of a given type it
+wants to work with; specifying a host is optional." (§2.1)
+
+Names are two-level: ``(name, host)``.  Registering with a host makes
+the object reachable both by bare name and by ``name@host``; resolving
+with ``host=None`` returns the sole registration of that name (an
+error if the name is ambiguous across hosts, since the client then has
+to say which object it wants).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.orb.reference import ObjectReference
+
+
+class NamingError(KeyError):
+    """Unknown, duplicate or ambiguous name."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr otherwise
+        return self.args[0] if self.args else ""
+
+
+class NamingService:
+    """A thread-safe name → object-reference registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (name, host) → reference; host '' means "no host given".
+        self._entries: dict[tuple[str, str], ObjectReference] = {}
+
+    def bind(
+        self,
+        name: str,
+        ref: ObjectReference,
+        host: str = "",
+    ) -> None:
+        """Register; duplicate (name, host) pairs are an error."""
+        if not name:
+            raise NamingError("object name cannot be empty")
+        key = (name, host)
+        with self._lock:
+            if key in self._entries:
+                where = f" on host '{host}'" if host else ""
+                raise NamingError(
+                    f"an object is already bound as '{name}'{where}"
+                )
+            self._entries[key] = ref
+
+    def rebind(
+        self, name: str, ref: ObjectReference, host: str = ""
+    ) -> None:
+        """Register, replacing any existing registration."""
+        if not name:
+            raise NamingError("object name cannot be empty")
+        with self._lock:
+            self._entries[(name, host)] = ref
+
+    def resolve(self, name: str, host: str | None = None) -> ObjectReference:
+        """Find a reference by name, optionally pinned to a host."""
+        with self._lock:
+            if host is not None:
+                ref = self._entries.get((name, host))
+                if ref is None:
+                    raise NamingError(
+                        f"no object '{name}' on host '{host}'"
+                    )
+                return ref
+            matches = [
+                ref for (n, _h), ref in self._entries.items() if n == name
+            ]
+        if not matches:
+            raise NamingError(f"no object bound as '{name}'")
+        if len(matches) > 1:
+            raise NamingError(
+                f"'{name}' is bound on several hosts; specify one"
+            )
+        return matches[0]
+
+    def unbind(self, name: str, host: str = "") -> None:
+        with self._lock:
+            if self._entries.pop((name, host), None) is None:
+                raise NamingError(f"no object bound as '{name}'")
+
+    def names(self) -> list[tuple[str, str]]:
+        """All (name, host) registrations, sorted."""
+        with self._lock:
+            return sorted(self._entries)

@@ -1,0 +1,454 @@
+"""The client side: runtimes, proxies and the two bind operations.
+
+Paper §2.1 defines two bindings:
+
+- ``_bind`` — "non-collective and always establishes one binding per
+  thread"; each thread then interacts on its own, using the
+  *non-distributed* mapping of distributed arguments (serial
+  sequences).
+- ``_spmd_bind`` — "a collective form of bind; it has to be called by
+  all the computing threads of a client and should be used by clients
+  wishing to act as one entity".  Every subsequent invocation is
+  collective and distributed arguments travel distributed.
+
+Each PARDIS-connected client thread owns a :class:`ClientRuntime`:
+its reply and data ports, the ORB-internal communicator (a private
+duplicate of the application's, so ORB traffic can never interleave
+with application messages), and a single-threaded invocation worker.
+The worker gives non-blocking invocations (§2.1's futures) a total
+order per rank: because every rank enqueues invocations in the same
+program order, the collective operations inside the transfer engines
+match up across ranks even when the application fires several
+requests before touching any future.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+from typing import Any, Callable
+
+from repro.orb.operation import OperationSpec, RemoteError
+from repro.orb.reference import ObjectReference
+from repro.orb.transfer import (
+    CentralizedTransfer,
+    ChunkCollector,
+    MultiPortTransfer,
+    Tracer,
+    TransferEngine,
+)
+from repro.orb.transport import Fabric
+from repro.rts.futures import Future
+from repro.rts.interface import MessagePassingRTS, RuntimeSystem
+from repro.rts.mpi import Intracomm
+from repro.rts.onesided import OneSidedRTS
+
+
+def make_rts(style: str, comm: Intracomm) -> RuntimeSystem:
+    """Instantiate a run-time-system interface by name.
+
+    ``"message-passing"`` is the paper's implemented interface;
+    ``"one-sided"`` the alternative it plans (§2.3), built on RMA
+    windows.  Both satisfy the same contract, so the transfer engines
+    are oblivious to the choice.
+    """
+    if style == "message-passing":
+        return MessagePassingRTS(comm)
+    if style == "one-sided":
+        return OneSidedRTS(comm)
+    raise ValueError(
+        f"unknown RTS style {style!r}; expected 'message-passing' or "
+        f"'one-sided'"
+    )
+
+
+class BindMode(enum.Enum):
+    """How a proxy was bound (decides collective vs per-thread)."""
+
+    SERIAL = "bind"
+    SPMD = "spmd_bind"
+
+
+_ENGINES: dict[str, TransferEngine] = {
+    "centralized": CentralizedTransfer(),
+    "multiport": MultiPortTransfer(),
+}
+
+
+def engine_for(method) -> TransferEngine:
+    """The shared engine instance for a transfer-method name.
+
+    Accepts either the string name or a
+    :class:`repro.core.TransferMethod` member.
+    """
+    key = getattr(method, "value", method)
+    try:
+        return _ENGINES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown transfer method {method!r}; expected "
+            f"'centralized' or 'multiport'"
+        ) from None
+
+
+class ClientRuntime:
+    """Per-thread client-side ORB state.
+
+    Create one per computing thread via
+    :meth:`repro.core.ORB.client_runtime`; pass it to ``_bind`` /
+    ``_spmd_bind``.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        naming: Any,
+        comm: Intracomm | None = None,
+        *,
+        tracer: Tracer | None = None,
+        timeout: float = 60.0,
+        label: str = "client",
+        rts_style: str = "message-passing",
+    ) -> None:
+        self.fabric = fabric
+        self.naming = naming
+        self.app_comm = comm
+        self.tracer = tracer
+        self.timeout = timeout
+        self.rank = 0 if comm is None else comm.rank
+        self.size = 1 if comm is None else comm.size
+        # A private communicator for ORB-internal collectives, so the
+        # engines never interleave with application traffic.
+        if comm is None:
+            self.orb_comm: Intracomm | None = None
+            self.rts: RuntimeSystem | None = None
+        else:
+            self.orb_comm = comm.dup(f"{label}:orb")
+            self.rts = make_rts(rts_style, self.orb_comm)
+        self.reply_port = fabric.open_port(f"{label}:{self.rank}:reply")
+        self.data_port = fabric.open_port(f"{label}:{self.rank}:data")
+        self.collector = ChunkCollector(self.data_port)
+        if comm is None:
+            self.data_port_addresses = (self.data_port.address,)
+        else:
+            self.data_port_addresses = tuple(
+                comm.allgather(self.data_port.address)
+            )
+        self._request_ids = itertools.count(1)
+        self._worker: _InvocationWorker | None = None
+        self._closed = False
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    def serial_view(self) -> "ClientRuntime":
+        """A per-thread (non-collective) view of this runtime.
+
+        Used by plain ``_bind``: the thread interacts with objects on
+        its own, so the engines must see a 1-thread client.  Ports,
+        worker and the request-id counter are shared with the parent
+        (replies still arrive on this thread's port; the common worker
+        keeps blocking/non-blocking calls ordered); only the group
+        identity is erased.
+        """
+        if self.app_comm is None:
+            return self
+        view = object.__new__(ClientRuntime)
+        view.fabric = self.fabric
+        view.naming = self.naming
+        view.app_comm = None
+        view.tracer = self.tracer
+        view.timeout = self.timeout
+        view.rank = 0
+        view.size = 1
+        view.orb_comm = None
+        view.rts = None
+        view.reply_port = self.reply_port
+        view.data_port = self.data_port
+        view.collector = self.collector
+        view.data_port_addresses = (self.data_port.address,)
+        view._request_ids = self._request_ids
+        view._closed = False
+        # Share the worker so invocation order is global per thread.
+        view._worker = self.worker
+        return view
+
+    @property
+    def worker(self) -> "_InvocationWorker":
+        if self._worker is None:
+            self._worker = _InvocationWorker(
+                f"pardis-worker-{self.rank}"
+            )
+        return self._worker
+
+    def close(self) -> None:
+        """Release ports and stop the worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._worker is not None:
+            self._worker.stop()
+        self.reply_port.close()
+        self.data_port.close()
+
+    def __enter__(self) -> "ClientRuntime":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _InvocationWorker:
+    """A per-rank FIFO executor for invocations.
+
+    All invocations — blocking and non-blocking — run here in enqueue
+    order, which is program order, which under the SPMD assumption is
+    identical on every rank: the collectives inside the engines can
+    therefore never cross-match between two outstanding requests.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._queue: queue.Queue = queue.Queue()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, future = item
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - to the future
+                future.set_exception(exc)
+
+    def submit(self, fn: Callable[[], Any], label: str) -> Future:
+        if self._stopped:
+            raise RuntimeError(
+                "client runtime is closed; no further invocations"
+            )
+        future = Future(label)
+        self._queue.put((fn, future))
+        return future
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._queue.put(None)
+
+
+class ClientProxy:
+    """Base class of generated client stubs.
+
+    Generated subclasses carry ``_interface``, ``_repo_id`` and
+    ``_operations``; their operation methods call :meth:`_invoke` /
+    :meth:`_invoke_nb`.
+    """
+
+    _interface: str = ""
+    _repo_id: str = ""
+    _operations: dict[str, OperationSpec] = {}
+
+    def __init__(
+        self,
+        runtime: ClientRuntime,
+        ref: ObjectReference,
+        mode: BindMode,
+        transfer: str,
+    ) -> None:
+        self._runtime = runtime
+        self._ref = ref
+        self._mode = mode
+        self._engine = engine_for(transfer)
+        #: (operation, slot name) → template spec for out/return
+        #: distributed values (§2.2's client-side initialization).
+        self._out_templates: dict[tuple[str, str], tuple] = {}
+
+    # -- binding -----------------------------------------------------------
+
+    @classmethod
+    def _bind(
+        cls,
+        obj_name: str,
+        runtime: ClientRuntime,
+        host_name: str | None = None,
+        *,
+        transfer: str | None = None,
+    ) -> "ClientProxy":
+        """Per-thread, non-collective bind (§2.1).
+
+        The proxy then uses the non-distributed argument mapping: each
+        thread interacts with the object on its own, so distributed
+        sequence arguments must be serial (``comm=None``).
+        """
+        ref = runtime.naming.resolve(obj_name, host_name)
+        cls._check_interface(ref)
+        return cls(
+            runtime.serial_view(),
+            ref,
+            BindMode.SERIAL,
+            cls._default_transfer(ref, transfer),
+        )
+
+    @classmethod
+    def _spmd_bind(
+        cls,
+        obj_name: str,
+        runtime: ClientRuntime,
+        host_name: str | None = None,
+        *,
+        transfer: str | None = None,
+    ) -> "ClientProxy":
+        """Collective bind: all client threads act as one entity.
+
+        The communicating thread resolves the name; every thread gets
+        a proxy over the shared binding, and "every invocation to the
+        object must be called by all the threads that participated in
+        the bind call" (§2.1).
+        """
+        if runtime.app_comm is None:
+            # A 1-thread client group: degenerate but legal.
+            return cls._bind(
+                obj_name, runtime, host_name, transfer=transfer
+            )
+        if runtime.rank == 0:
+            ior = runtime.naming.resolve(obj_name, host_name).ior()
+        else:
+            ior = None
+        ior = runtime.orb_comm.bcast(ior, root=0)
+        ref = ObjectReference.from_ior(ior)
+        cls._check_interface(ref)
+        return cls(
+            runtime,
+            ref,
+            BindMode.SPMD,
+            cls._default_transfer(ref, transfer),
+        )
+
+    @classmethod
+    def _default_transfer(
+        cls, ref: ObjectReference, transfer
+    ) -> str:
+        if transfer is not None:
+            transfer = getattr(transfer, "value", transfer)
+            engine_for(transfer)  # validate early
+            return transfer
+        return "multiport" if ref.multiport_capable else "centralized"
+
+    @classmethod
+    def _check_interface(cls, ref: ObjectReference) -> None:
+        if cls._repo_id and ref.repo_id and ref.repo_id != cls._repo_id:
+            raise RemoteError(
+                f"object '{ref.object_key}' implements {ref.repo_id}, "
+                f"proxy expects {cls._repo_id}",
+                category="INV_OBJREF",
+            )
+
+    # -- invocation -----------------------------------------------------------
+
+    @property
+    def reference(self) -> ObjectReference:
+        return self._ref
+
+    @property
+    def transfer_method(self) -> str:
+        return self._engine.mode
+
+    def _spec(self, operation: str) -> OperationSpec:
+        try:
+            return self._operations[operation]
+        except KeyError:
+            raise RemoteError(
+                f"interface {self._interface!r} has no operation "
+                f"{operation!r}",
+                category="BAD_OPERATION",
+            ) from None
+
+    def _check_serial_args(self, spec: OperationSpec, args: tuple) -> None:
+        """After plain ``_bind``, distributed arguments must be serial:
+        the thread interacts with the object on its own."""
+        if self._mode is not BindMode.SERIAL:
+            return
+        for param, value in zip(spec.sent_params, args):
+            if param.distributed and getattr(value, "comm", None) is not None:
+                raise ValueError(
+                    f"argument '{param.name}' is group-distributed; "
+                    f"after _bind use the non-distributed mapping "
+                    f"(serial sequences), or bind with _spmd_bind"
+                )
+
+    def set_out_template(
+        self, operation: str, param: str, template: Any
+    ) -> None:
+        """Preset the client-side distribution of an out/return value.
+
+        §2.2: "An 'out' argument should be initialized by a
+        distribution template before calling the operation which
+        returns it; otherwise a uniform blockwise distribution will be
+        assumed."  Use ``"__return__"`` as ``param`` for a distributed
+        return value.
+        """
+        from repro.idl.runtime import template_to_spec
+        from repro.orb.transfer import reply_slots
+
+        spec = self._spec(operation)
+        slot = next(
+            (s for s in reply_slots(spec) if s.name == param), None
+        )
+        if slot is None or not slot.distributed:
+            raise ValueError(
+                f"'{param}' is not a distributed out/return value of "
+                f"operation '{operation}'"
+            )
+        if slot.param is not None and slot.param.direction.sends:
+            raise ValueError(
+                f"'{param}' is inout; its distribution follows the "
+                f"argument you pass"
+            )
+        nranks = getattr(template, "nranks", None)
+        if nranks is not None and nranks != self._runtime.size:
+            raise ValueError(
+                f"template spans {nranks} threads but the client "
+                f"group has {self._runtime.size}"
+            )
+        self._out_templates[(operation, param)] = template_to_spec(
+            template
+        )
+
+    def _invoke(self, operation: str, args: tuple) -> Any:
+        """Blocking invocation (runs on the rank's worker for ordering
+        against outstanding non-blocking calls)."""
+        return self._invoke_nb(operation, args).value(
+            timeout=None if self._runtime.timeout is None
+            else self._runtime.timeout * 2
+        )
+
+    def _invoke_nb(self, operation: str, args: tuple) -> Future:
+        """Non-blocking invocation returning a future (§2.1)."""
+        spec = self._spec(operation)
+        self._check_serial_args(spec, args)
+        runtime = self._runtime
+        engine = self._engine
+        ref = self._ref
+        out_map = {
+            param: template_spec
+            for (op, param), template_spec in self._out_templates.items()
+            if op == operation
+        }
+        return runtime.worker.submit(
+            lambda: engine.invoke(
+                runtime, ref, spec, args, out_templates=out_map
+            ),
+            label=f"{self._interface}.{operation}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<proxy {self._interface} -> '{self._ref.object_key}' "
+            f"[{self._mode.value}, {self._engine.mode}]>"
+        )

@@ -1,0 +1,143 @@
+"""Object references (IORs) for SPMD objects.
+
+A reference names one object and carries everything a client-side ORB
+needs to reach it:
+
+- ``request_port``: the single connection of the centralized method —
+  "the SPMD object makes available only one network connection to
+  clients", waited on by the communicating thread (§3.2);
+- ``data_ports``: one per computing thread for the multi-port method —
+  "each computing thread of the SPMD object opens a network connection
+  on a separate port; these connections become a part of object
+  reference for this particular object" (§3.3);
+- per-parameter distribution templates the server registered before
+  activation (§2.2), so the client's threads can "calculate to which
+  of the server's threads they should send data".
+
+References stringify to an ``IOR:<hex>`` form and survive a
+marshal/unmarshal roundtrip, mirroring CORBA stringified IORs.
+"""
+
+from __future__ import annotations
+
+import binascii
+from dataclasses import dataclass
+
+from repro.cdr.decoder import CdrDecoder
+from repro.cdr.encoder import CdrEncoder
+from repro.cdr.typecodes import MarshalError
+from repro.orb.transport import PortAddress
+
+
+def _write_address(enc: CdrEncoder, port) -> None:
+    """Shared address codec (see docs/protocol.md, "port encoding")."""
+    enc.write_ulong(port.port_id)
+    enc.write_string(port.label)
+    enc.write_string(getattr(port, "host", "") or "")
+    enc.write_ulong(getattr(port, "tcp_port", 0) or 0)
+
+
+def _read_address(dec: CdrDecoder):
+    port_id = dec.read_ulong()
+    label = dec.read_string()
+    host = dec.read_string()
+    tcp_port = dec.read_ulong()
+    if host:
+        from repro.orb.socketnet import SocketPortAddress
+
+        return SocketPortAddress(host, tcp_port, port_id, label)
+    return PortAddress(port_id, label)
+
+
+@dataclass(frozen=True)
+class ObjectReference:
+    """An immutable, stringifiable reference to one (SPMD) object."""
+
+    object_key: str
+    repo_id: str
+    request_port: PortAddress
+    data_ports: tuple[PortAddress, ...] = ()
+    #: (operation name, parameter name) → distribution template spec
+    #: tuple, e.g. ``('proportions', (2, 4, 2, 4))``.  Parameters not
+    #: listed default to uniform blockwise.
+    param_templates: tuple[tuple[tuple[str, str], tuple], ...] = ()
+
+    @property
+    def nthreads(self) -> int:
+        """Number of computing threads of the SPMD object (1 when the
+        object only advertises the centralized connection)."""
+        return len(self.data_ports) or 1
+
+    @property
+    def multiport_capable(self) -> bool:
+        return bool(self.data_ports)
+
+    def template_spec(self, operation: str, param: str) -> tuple | None:
+        for key, spec in self.param_templates:
+            if key == (operation, param):
+                return spec
+        return None
+
+    def ior(self) -> str:
+        """Stringified form: ``IOR:`` + hex of a CDR encoding.
+
+        Pure CDR, no pickling: a reference received from an untrusted
+        peer can at worst fail to parse.
+        """
+        enc = CdrEncoder()
+        enc.write_string(self.object_key)
+        enc.write_string(self.repo_id)
+        _write_address(enc, self.request_port)
+        enc.write_ulong(len(self.data_ports))
+        for port in self.data_ports:
+            _write_address(enc, port)
+        enc.write_ulong(len(self.param_templates))
+        for (operation, param), spec in self.param_templates:
+            enc.write_string(operation)
+            enc.write_string(param)
+            enc.write_string(spec[0])
+            weights = spec[1] if len(spec) > 1 else ()
+            enc.write_ulong(len(weights))
+            for weight in weights:
+                enc.write_ulong(int(weight))
+        return "IOR:" + binascii.hexlify(enc.getvalue()).decode("ascii")
+
+    @staticmethod
+    def from_ior(text: str) -> "ObjectReference":
+        """Parse a stringified reference (inverse of :meth:`ior`)."""
+        if not text.startswith("IOR:"):
+            raise ValueError(f"not a stringified reference: {text[:20]!r}")
+        try:
+            dec = CdrDecoder(binascii.unhexlify(text[4:]))
+            object_key = dec.read_string()
+            repo_id = dec.read_string()
+            request_port = _read_address(dec)
+            nports = dec.read_ulong()
+            data_ports = tuple(_read_address(dec) for _ in range(nports))
+            ntemplates = dec.read_ulong()
+            templates = []
+            for _ in range(ntemplates):
+                operation = dec.read_string()
+                param = dec.read_string()
+                kind = dec.read_string()
+                nweights = dec.read_ulong()
+                weights = tuple(
+                    dec.read_ulong() for _ in range(nweights)
+                )
+                spec = (kind,) if not weights else (kind, weights)
+                templates.append(((operation, param), spec))
+        except (MarshalError, binascii.Error, ValueError) as exc:
+            raise ValueError(f"malformed IOR: {exc}") from None
+        return ObjectReference(
+            object_key=object_key,
+            repo_id=repo_id,
+            request_port=request_port,
+            data_ports=data_ports,
+            param_templates=tuple(templates),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"<{self.repo_id} '{self.object_key}' at "
+            f"{self.request_port}, {self.nthreads} threads>"
+        )

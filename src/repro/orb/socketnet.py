@@ -1,0 +1,498 @@
+"""TCP transport: the fabric over real sockets.
+
+The in-process :class:`~repro.orb.transport.Fabric` carries everything
+inside one interpreter.  This module provides the same contract over
+loopback/LAN TCP, so PARDIS components can live in *separate OS
+processes* (or machines): a :class:`SocketFabric` listens on one TCP
+endpoint and demultiplexes frames onto its local ports; addresses
+(:class:`SocketPortAddress`) carry the TCP endpoint, so they remain
+routable after travelling inside an IOR.
+
+A companion naming protocol (:class:`NamingServer`,
+:class:`RemoteNamingClient`) exposes one process's
+:class:`~repro.orb.naming.NamingService` to the others, completing the
+minimum needed for a true multi-process deployment — see
+``examples/two_process_demo.py``.
+
+Wire framing (per message, after a 4-byte big-endian length prefix) is
+a CDR stream: destination port id, source address (host, tcp port,
+port id, label), kind, payload octets.  Naming requests/replies use
+the same framing with a small op/string vocabulary.  Nothing here is
+pickled off the wire, so a hostile peer can at worst produce a
+:class:`~repro.cdr.typecodes.MarshalError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cdr.decoder import CdrDecoder
+from repro.cdr.encoder import CdrEncoder
+from repro.cdr.typecodes import MarshalError
+from repro.orb.naming import NamingError, NamingService
+from repro.orb.reference import ObjectReference
+from repro.orb.transport import Meter, Port, TransportError, _Delivery
+
+_LENGTH = struct.Struct(">I")
+#: Refuse frames above this size (sanity bound, 256 MiB).
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True, order=True)
+class SocketPortAddress:
+    """A routable address: TCP endpoint plus local port id."""
+
+    host: str
+    tcp_port: int
+    port_id: int
+    label: str = field(compare=False, default="")
+
+    def __repr__(self) -> str:
+        return (
+            f"<port {self.host}:{self.tcp_port}/{self.port_id} "
+            f"{self.label!r}>"
+        )
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 16))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(sock: socket.socket) -> bytes:
+    (length,) = _LENGTH.unpack(_recv_exact(sock, 4))
+    if length > _MAX_FRAME:
+        raise MarshalError(f"frame of {length} bytes exceeds the bound")
+    return _recv_exact(sock, length)
+
+
+def _write_frame(sock: socket.socket, frame: bytes) -> None:
+    sock.sendall(_LENGTH.pack(len(frame)) + frame)
+
+
+class SocketFabric:
+    """Drop-in Fabric whose sends travel over TCP.
+
+    One instance per process; ``bind_host``/``bind_port`` choose the
+    listening endpoint (port 0 lets the OS pick).  Ports opened here
+    behave exactly like in-process ports — same :class:`Port` class,
+    blocking ``recv`` with kind filtering — and their addresses are
+    valid on any peer that can reach this endpoint.
+    """
+
+    def __init__(
+        self,
+        name: str = "socket-fabric",
+        bind_host: str = "127.0.0.1",
+        bind_port: int = 0,
+    ) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._ports: dict[int, Port] = {}
+        self._next_port_id = 1
+        self._meters: list[Meter] = []
+        self._connections: dict[tuple[str, int], socket.socket] = {}
+        self._conn_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._closed = False
+        self._server = socket.create_server(
+            (bind_host, bind_port), reuse_port=False
+        )
+        self.host, self.tcp_port = self._server.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop,
+            name=f"{name}-accept",
+            daemon=True,
+        )
+        self._acceptor.start()
+
+    # -- fabric contract ---------------------------------------------------
+
+    def open_port(self, label: str = "") -> Port:
+        with self._lock:
+            if self._closed:
+                raise TransportError("fabric is closed")
+            port_id = self._next_port_id
+            self._next_port_id += 1
+            address = SocketPortAddress(
+                self.host, self.tcp_port, port_id, label
+            )
+            port = Port(self, address)
+            self._ports[port_id] = port
+        return port
+
+    def send(
+        self,
+        src: SocketPortAddress,
+        dest: SocketPortAddress,
+        payload: bytes,
+        kind: str = "data",
+    ) -> None:
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TransportError(
+                "transport carries marshaled bytes only; got "
+                f"{type(payload).__name__}"
+            )
+        payload = bytes(payload)
+        with self._lock:
+            meters = list(self._meters)
+        for meter in meters:
+            meter(src, dest, kind, len(payload))
+        if (dest.host, dest.tcp_port) == (self.host, self.tcp_port):
+            self._deliver_local(dest.port_id, src, kind, payload)
+            return
+        frame = self._encode_frame(src, dest, kind, payload)
+        self._send_remote((dest.host, dest.tcp_port), frame)
+
+    def add_meter(self, meter: Meter) -> None:
+        """Observe every outgoing message (same hook as Fabric)."""
+        with self._lock:
+            self._meters.append(meter)
+
+    def remove_meter(self, meter: Meter) -> None:
+        with self._lock:
+            self._meters.remove(meter)
+
+    def _unregister(self, address: Any) -> None:
+        with self._lock:
+            self._ports.pop(address.port_id, None)
+
+    def open_port_count(self) -> int:
+        with self._lock:
+            return len(self._ports)
+
+    # -- wiring ------------------------------------------------------------
+
+    @staticmethod
+    def _encode_frame(
+        src: SocketPortAddress,
+        dest: SocketPortAddress,
+        kind: str,
+        payload: bytes,
+    ) -> bytes:
+        enc = CdrEncoder()
+        enc.write_ulong(dest.port_id)
+        enc.write_string(src.host)
+        enc.write_ulong(src.tcp_port)
+        enc.write_ulong(src.port_id)
+        enc.write_string(src.label)
+        enc.write_string(kind)
+        enc.write_ulong(len(payload))
+        enc.write_octets(payload)
+        return enc.getvalue()
+
+    def _deliver_local(
+        self,
+        dest_port_id: int,
+        src: SocketPortAddress,
+        kind: str,
+        payload: bytes,
+    ) -> None:
+        with self._lock:
+            port = self._ports.get(dest_port_id)
+        if port is None:
+            raise TransportError(
+                f"no port {dest_port_id} at {self.host}:{self.tcp_port}"
+            )
+        port._deposit(_Delivery(src, kind, payload))
+
+    def _send_remote(
+        self, endpoint: tuple[str, int], frame: bytes
+    ) -> None:
+        with self._lock:
+            sock = self._connections.get(endpoint)
+            if sock is None:
+                try:
+                    sock = socket.create_connection(endpoint, timeout=10)
+                except OSError as exc:
+                    raise TransportError(
+                        f"cannot reach {endpoint[0]}:{endpoint[1]}: {exc}"
+                    ) from None
+                self._connections[endpoint] = sock
+                self._conn_locks[endpoint] = threading.Lock()
+            conn_lock = self._conn_locks[endpoint]
+        with conn_lock:
+            try:
+                _write_frame(sock, frame)
+            except OSError as exc:
+                with self._lock:
+                    self._connections.pop(endpoint, None)
+                raise TransportError(
+                    f"send to {endpoint[0]}:{endpoint[1]} failed: {exc}"
+                ) from None
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _peer = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name=f"{self.name}-reader",
+                daemon=True,
+            ).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                frame = _read_frame(conn)
+                try:
+                    self._dispatch_frame(frame)
+                except (MarshalError, TransportError):
+                    continue  # drop garbage, keep the connection
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            conn.close()
+
+    def _dispatch_frame(self, frame: bytes) -> None:
+        dec = CdrDecoder(frame)
+        dest_port_id = dec.read_ulong()
+        src = SocketPortAddress(
+            host=dec.read_string(),
+            tcp_port=dec.read_ulong(),
+            port_id=dec.read_ulong(),
+            label=dec.read_string(),
+        )
+        kind = dec.read_string()
+        payload = dec.read_octets(dec.read_ulong())
+        self._deliver_local(dest_port_id, src, kind, payload)
+
+    def close(self) -> None:
+        """Stop accepting, close all connections and local ports."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections = list(self._connections.values())
+            self._connections.clear()
+            ports = list(self._ports.values())
+        self._server.close()
+        for sock in connections:
+            sock.close()
+        for port in ports:
+            if not port.closed:
+                port.close()
+
+    def __enter__(self) -> "SocketFabric":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Remote naming
+# ---------------------------------------------------------------------------
+
+_OP_BIND = "bind"
+_OP_REBIND = "rebind"
+_OP_RESOLVE = "resolve"
+_OP_UNBIND = "unbind"
+_OP_NAMES = "names"
+
+
+class NamingServer:
+    """Serves a :class:`NamingService` over TCP.
+
+    One per deployment, typically in the same process as the first
+    server.  Each request is one frame; the reply is one frame.
+    """
+
+    def __init__(
+        self,
+        naming: NamingService | None = None,
+        bind_host: str = "127.0.0.1",
+        bind_port: int = 0,
+    ) -> None:
+        self.naming = naming or NamingService()
+        self._server = socket.create_server((bind_host, bind_port))
+        self.host, self.tcp_port = self._server.getsockname()[:2]
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve, name="naming-server", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._closed:
+            try:
+                conn, _peer = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle,
+                args=(conn,),
+                daemon=True,
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                request = _read_frame(conn)
+                _write_frame(conn, self._answer(request))
+        except (ConnectionError, OSError, MarshalError):
+            pass
+        finally:
+            conn.close()
+
+    def _answer(self, request: bytes) -> bytes:
+        enc = CdrEncoder()
+        try:
+            dec = CdrDecoder(request)
+            op = dec.read_string()
+            if op in (_OP_BIND, _OP_REBIND):
+                name = dec.read_string()
+                host = dec.read_string()
+                ref = ObjectReference.from_ior(dec.read_string())
+                method = (
+                    self.naming.bind if op == _OP_BIND
+                    else self.naming.rebind
+                )
+                method(name, ref, host=host)
+                enc.write_boolean(True)
+                enc.write_string("ok")
+            elif op == _OP_RESOLVE:
+                name = dec.read_string()
+                host = dec.read_string()
+                ref = self.naming.resolve(name, host or None)
+                enc.write_boolean(True)
+                enc.write_string(ref.ior())
+            elif op == _OP_UNBIND:
+                name = dec.read_string()
+                host = dec.read_string()
+                self.naming.unbind(name, host=host)
+                enc.write_boolean(True)
+                enc.write_string("ok")
+            elif op == _OP_NAMES:
+                entries = self.naming.names()
+                enc.write_boolean(True)
+                enc.write_ulong(len(entries))
+                for name, host in entries:
+                    enc.write_string(name)
+                    enc.write_string(host)
+            else:
+                raise NamingError(f"unknown naming operation {op!r}")
+        except Exception as exc:  # noqa: BLE001 - reported to the peer
+            enc = CdrEncoder()
+            enc.write_boolean(False)
+            enc.write_string(f"{type(exc).__name__}: {exc}")
+        return enc.getvalue()
+
+    def close(self) -> None:
+        self._closed = True
+        self._server.close()
+
+    def __enter__(self) -> "NamingServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class RemoteNamingClient:
+    """A NamingService façade forwarding to a :class:`NamingServer`.
+
+    Implements the subset the ORB uses (bind/rebind/resolve/unbind/
+    names) with one round trip per call.
+    """
+
+    def __init__(self, host: str, tcp_port: int) -> None:
+        self.host = host
+        self.tcp_port = tcp_port
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+
+    def _roundtrip(self, frame: bytes) -> CdrDecoder:
+        with self._lock:
+            if self._sock is None:
+                try:
+                    self._sock = socket.create_connection(
+                        (self.host, self.tcp_port), timeout=10
+                    )
+                except OSError as exc:
+                    raise NamingError(
+                        f"naming server {self.host}:{self.tcp_port} "
+                        f"unreachable: {exc}"
+                    ) from None
+            try:
+                _write_frame(self._sock, frame)
+                reply = _read_frame(self._sock)
+            except (OSError, ConnectionError) as exc:
+                self._sock.close()
+                self._sock = None
+                raise NamingError(
+                    f"naming round trip failed: {exc}"
+                ) from None
+        dec = CdrDecoder(reply)
+        if not dec.read_boolean():
+            raise NamingError(dec.read_string())
+        return dec
+
+    def bind(
+        self, name: str, ref: ObjectReference, host: str = ""
+    ) -> None:
+        """Register a reference with the remote naming domain."""
+        self._request_with_ref(_OP_BIND, name, host, ref)
+
+    def rebind(
+        self, name: str, ref: ObjectReference, host: str = ""
+    ) -> None:
+        """Register, replacing any existing registration."""
+        self._request_with_ref(_OP_REBIND, name, host, ref)
+
+    def _request_with_ref(
+        self, op: str, name: str, host: str, ref: ObjectReference
+    ) -> None:
+        enc = CdrEncoder()
+        enc.write_string(op)
+        enc.write_string(name)
+        enc.write_string(host)
+        enc.write_string(ref.ior())
+        self._roundtrip(enc.getvalue())
+
+    def resolve(
+        self, name: str, host: str | None = None
+    ) -> ObjectReference:
+        """Look a name up in the remote naming domain."""
+        enc = CdrEncoder()
+        enc.write_string(_OP_RESOLVE)
+        enc.write_string(name)
+        enc.write_string(host or "")
+        dec = self._roundtrip(enc.getvalue())
+        return ObjectReference.from_ior(dec.read_string())
+
+    def unbind(self, name: str, host: str = "") -> None:
+        """Remove a registration from the remote naming domain."""
+        enc = CdrEncoder()
+        enc.write_string(_OP_UNBIND)
+        enc.write_string(name)
+        enc.write_string(host)
+        self._roundtrip(enc.getvalue())
+
+    def names(self) -> list[tuple[str, str]]:
+        """All (name, host) registrations, sorted."""
+        enc = CdrEncoder()
+        enc.write_string(_OP_NAMES)
+        dec = self._roundtrip(enc.getvalue())
+        count = dec.read_ulong()
+        return [
+            (dec.read_string(), dec.read_string()) for _ in range(count)
+        ]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None

@@ -1,0 +1,892 @@
+"""The two distributed-argument transfer methods (paper §3).
+
+Both engines implement the same invocation contract over different
+message patterns:
+
+**Centralized** (§3.2, Figure 2) — each side designates a
+*communicating thread* (rank 0).  On invocation the client's threads
+synchronize, distributed arguments are *gathered* to the communicating
+thread over the RTS, and the whole request — header plus all argument
+data — crosses the network as **one message**.  The server's
+communicating thread unmarshals, *scatters* distributed arguments over
+the RTS, all threads execute, results are gathered back and returned
+in one reply message.
+
+**Multi-port** (§3.3, Figure 3) — every computing thread of the object
+opens its own network port (advertised in the object reference).  The
+invocation header still travels centralized — "sending the invocation
+to every computing thread … could lead to contention between different
+invoking clients" — but argument data flows directly thread-to-thread:
+each client thread computes, from the client-side and server-side
+distribution templates, exactly which server threads its local block
+overlaps, and ships those chunks straight to the owning threads.
+
+Servant/result convention shared by both engines
+------------------------------------------------
+
+A servant method receives one value per ``in``/``inout`` parameter, in
+declaration order; distributed sequences arrive as
+:class:`~repro.dist.DistributedSequence` local views on every thread.
+It *produces*, in order: the return value (unless void), then a value
+for each ``out`` parameter and each non-distributed ``inout``
+parameter.  ``inout`` distributed sequences are mutated in place — on
+the server by the servant, on the client by the engine once the reply
+arrives.  Zero produced values → return ``None``; one → return it
+bare; several → return the tuple.  The client-side composed result
+follows the identical rule.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cdr.decoder import CdrDecoder
+from repro.cdr.encoder import CdrEncoder
+from repro.cdr.typecodes import DSequenceTC, MarshalError, TypeCode, TC_VOID
+from repro.dist import (
+    BlockTemplate,
+    DistributedSequence,
+    Layout,
+    transfer_schedule,
+)
+from repro.dist.schedule import TransferStep
+from repro.idl.runtime import template_from_spec
+from repro.orb import request as wire
+from repro.orb.operation import (
+    OperationSpec,
+    ParamSpec,
+    RemoteError,
+    UserException,
+    find_exception_class,
+)
+from repro.orb.reference import ObjectReference
+from repro.orb.request import DataChunk, ReplyMessage, RequestMessage
+from repro.orb.transport import (
+    KIND_DATA,
+    KIND_REPLY,
+    KIND_REQUEST,
+    Port,
+)
+
+_NATIVE_LITTLE = sys.byteorder == "little"
+
+#: Name used for a distributed return value in layouts and chunks.
+RETURN_SLOT = "__return__"
+
+
+class Tracer:
+    """Collects protocol events for the Figure 2/3 pattern tests.
+
+    Events are tuples ``(event, *detail)``; see the engines for the
+    vocabulary ('rts-gather', 'rts-scatter', 'net-request',
+    'net-reply', 'net-chunk', 'sync').
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list[tuple] = []
+
+    def emit(self, *event: Any) -> None:
+        with self._lock:
+            self.events.append(tuple(event))
+
+    def of_kind(self, kind: str) -> list[tuple]:
+        with self._lock:
+            return [e for e in self.events if e[0] == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
+def _single_rank_layout(length: int) -> Layout:
+    return Layout(((0, length),))
+
+
+def server_layout(
+    spec_tuple: tuple | None, length: int, nthreads: int
+) -> Layout:
+    """The server-side layout of a distributed parameter: the template
+    the servant registered, or uniform blockwise (§2.2 default)."""
+    template = template_from_spec(spec_tuple) or BlockTemplate()
+    return template.layout(length, nthreads)
+
+
+# ---------------------------------------------------------------------------
+# Argument slots: what travels where
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One value position in a request or reply."""
+
+    name: str
+    typecode: TypeCode
+    param: ParamSpec | None  # None for the return value
+
+    @property
+    def distributed(self) -> bool:
+        return isinstance(self.typecode, DSequenceTC)
+
+
+def request_slots(spec: OperationSpec) -> list[Slot]:
+    """Client→server values, in declaration order."""
+    return [Slot(p.name, p.typecode, p) for p in spec.sent_params]
+
+
+def reply_slots(spec: OperationSpec) -> list[Slot]:
+    """Server→client values: return first, then out/inout params."""
+    slots = []
+    if spec.return_tc is not TC_VOID:
+        slots.append(Slot(RETURN_SLOT, spec.return_tc, None))
+    for p in spec.returned_params:
+        slots.append(Slot(p.name, p.typecode, p))
+    return slots
+
+
+def produced_slots(spec: OperationSpec) -> list[Slot]:
+    """Reply slots a servant must *produce* (inout distributed
+    sequences are mutated in place instead)."""
+    produced = []
+    for slot in reply_slots(spec):
+        if (
+            slot.distributed
+            and slot.param is not None
+            and slot.param.direction.sends
+        ):
+            continue  # inout dsequence: in-place
+        produced.append(slot)
+    return produced
+
+
+def compose(values: list[Any]) -> Any:
+    """Apply the 0/1/n composition rule."""
+    if not values:
+        return None
+    if len(values) == 1:
+        return values[0]
+    return tuple(values)
+
+
+def decompose(result: Any, nslots: int, where: str) -> list[Any]:
+    """Inverse of :func:`compose`, validating arity."""
+    if nslots == 0:
+        if result is not None:
+            raise RemoteError(
+                f"{where} produced a value but the operation returns "
+                f"nothing",
+                category="BAD_OPERATION",
+            )
+        return []
+    if nslots == 1:
+        return [result]
+    if not isinstance(result, tuple) or len(result) != nslots:
+        raise RemoteError(
+            f"{where} must produce a tuple of {nslots} values",
+            category="BAD_OPERATION",
+        )
+    return list(result)
+
+
+# ---------------------------------------------------------------------------
+# Chunk collection (multi-port receive side)
+# ---------------------------------------------------------------------------
+
+
+class ChunkCollector:
+    """Receives data chunks on a port, holding unmatched ones.
+
+    Chunks for different requests and parameters interleave freely on
+    a port (several clients may be mid-transfer); the collector files
+    each by ``(request id, param, phase)`` so an engine can wait for
+    exactly the set its transfer schedule predicts.
+    """
+
+    def __init__(self, port: Port) -> None:
+        self._port = port
+        self._pending: dict[tuple[int, str, int], list[DataChunk]] = {}
+
+    @property
+    def port(self) -> Port:
+        return self._port
+
+    def collect(
+        self,
+        request_id: int,
+        param: str,
+        phase: int,
+        expected: int,
+        timeout: float = 60.0,
+    ) -> list[DataChunk]:
+        """Block until ``expected`` chunks for the key have arrived."""
+        key = (request_id, param, phase)
+        have = self._pending.setdefault(key, [])
+        while len(have) < expected:
+            _src, _kind, payload = self._port.recv(
+                kind=KIND_DATA, timeout=timeout
+            )
+            chunk = wire.decode_chunk(payload)
+            self._pending.setdefault(
+                (chunk.request_id, chunk.param, chunk.phase), []
+            ).append(chunk)
+        return self._pending.pop(key)
+
+
+def assemble_chunks(
+    chunks: list[DataChunk],
+    layout: Layout,
+    rank: int,
+    dtype: np.dtype,
+    out: np.ndarray,
+) -> None:
+    """Write received chunks into the local block ``out`` of ``rank``."""
+    lo, hi = layout.local_range(rank)
+    for chunk in chunks:
+        if not (lo <= chunk.global_lo <= chunk.global_hi <= hi):
+            raise MarshalError(
+                f"chunk [{chunk.global_lo}, {chunk.global_hi}) for "
+                f"'{chunk.param}' lies outside rank {rank}'s block "
+                f"[{lo}, {hi})"
+            )
+        out[chunk.global_lo - lo : chunk.global_hi - lo] = chunk.elements(
+            dtype
+        )
+
+
+def send_chunks(
+    port: Port,
+    dest_ports: tuple,
+    steps: list[TransferStep],
+    my_rank: int,
+    local: np.ndarray,
+    request_id: int,
+    param: str,
+    phase: int,
+    tracer: Tracer | None = None,
+) -> None:
+    """Ship this rank's outgoing chunks of one parameter."""
+    for step in steps:
+        if step.src_rank != my_rank:
+            continue
+        payload = np.ascontiguousarray(local[step.src_slice]).tobytes()
+        chunk = DataChunk(
+            request_id=request_id,
+            param=param,
+            phase=phase,
+            src_rank=step.src_rank,
+            dst_rank=step.dst_rank,
+            global_lo=step.global_lo,
+            global_hi=step.global_hi,
+            payload=payload,
+        )
+        if tracer is not None:
+            tracer.emit(
+                "net-chunk",
+                phase,
+                param,
+                step.src_rank,
+                step.dst_rank,
+                step.nelems,
+            )
+        port.send(dest_ports[step.dst_rank], chunk.encode(), KIND_DATA)
+
+
+# ---------------------------------------------------------------------------
+# Body marshaling
+# ---------------------------------------------------------------------------
+
+
+def encode_plain_body(slots: list[Slot], values: dict[str, Any]) -> bytes:
+    """Marshal the non-distributed slots of a message body."""
+    enc = CdrEncoder()
+    for slot in slots:
+        if slot.distributed:
+            continue
+        enc.write(slot.typecode, values[slot.name])
+    return enc.getvalue()
+
+
+def decode_plain_body(slots: list[Slot], body: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_plain_body`."""
+    dec = CdrDecoder(body)
+    values: dict[str, Any] = {}
+    for slot in slots:
+        if slot.distributed:
+            continue
+        values[slot.name] = dec.read(slot.typecode)
+    return values
+
+
+def encode_full_body(
+    slots: list[Slot], values: dict[str, Any]
+) -> bytes:
+    """Centralized method: everything inline, distributed sequences as
+    materialized arrays."""
+    enc = CdrEncoder()
+    for slot in slots:
+        if slot.distributed:
+            enc.write(slot.typecode, np.asarray(values[slot.name]))
+        else:
+            enc.write(slot.typecode, values[slot.name])
+    return enc.getvalue()
+
+
+def decode_full_body(slots: list[Slot], body: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_full_body`."""
+    dec = CdrDecoder(body)
+    return {slot.name: dec.read(slot.typecode) for slot in slots}
+
+
+def encode_user_exception(exc: UserException) -> bytes:
+    """Marshal a declared exception for a user-exception reply."""
+    if exc._tc is None:
+        raise RemoteError(
+            f"user exception {type(exc).__name__} carries no typecode",
+            category="MARSHAL",
+        )
+    enc = CdrEncoder()
+    enc.write(exc._tc, exc)
+    return enc.getvalue()
+
+
+def decode_user_exception(
+    spec: OperationSpec, body: bytes
+) -> UserException:
+    """Rebuild the concrete exception a servant raised, matching the
+    repository id against the operation's raises clause."""
+    probe = CdrDecoder(body)
+    repo_id = probe.read_string()
+    exc_tc = spec.exception_by_id(repo_id)
+    if exc_tc is None:
+        raise RemoteError(
+            f"server raised undeclared exception {repo_id!r}",
+            category="UNKNOWN",
+        )
+    members = CdrDecoder(body).read(exc_tc)
+    cls = find_exception_class(repo_id)
+    if cls is not None:
+        return cls(**members)
+    exc = UserException(**members)
+    exc._tc = exc_tc
+    return exc
+
+
+def encode_system_exception(category: str, message: str) -> bytes:
+    """Marshal a system-exception reply body."""
+    enc = CdrEncoder()
+    enc.write_string(category)
+    enc.write_string(message)
+    return enc.getvalue()
+
+
+def decode_system_exception(body: bytes) -> RemoteError:
+    """Rebuild the RemoteError a system-exception reply carries."""
+    dec = CdrDecoder(body)
+    category = dec.read_string()
+    message = dec.read_string()
+    return RemoteError(message, category=category)
+
+
+# ---------------------------------------------------------------------------
+# Client-side engines
+# ---------------------------------------------------------------------------
+
+
+class TransferEngine:
+    """Common client-side machinery; subclasses set the mode and the
+    argument paths."""
+
+    mode: str = ""
+
+    # -- helpers shared by both methods ----------------------------------
+
+    @staticmethod
+    def _check_dseq_arg(
+        slot: Slot, value: Any, runtime: "ClientRuntimeLike"
+    ) -> DistributedSequence:
+        if not isinstance(value, DistributedSequence):
+            raise TypeError(
+                f"parameter '{slot.name}' is a distributed sequence; "
+                f"pass a DistributedSequence, not {type(value).__name__}"
+            )
+        expected = runtime.size
+        actual = 1 if value.comm is None else value.comm.size
+        if actual != expected:
+            raise ValueError(
+                f"argument '{slot.name}' is distributed over {actual} "
+                f"threads but the client group has {expected}"
+            )
+        tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
+        if tc.bound is not None and value.length() > tc.bound:
+            raise MarshalError(
+                f"argument '{slot.name}' has {value.length()} elements, "
+                f"over the IDL bound {tc.bound}"
+            )
+        if value.dtype != tc.element_dtype:
+            raise MarshalError(
+                f"argument '{slot.name}' has dtype {value.dtype}, the "
+                f"IDL element type is {tc.element_dtype}"
+            )
+        return value
+
+    @staticmethod
+    def _client_reply_layout(
+        slot: Slot,
+        new_length: int,
+        args_by_name: dict[str, Any],
+        runtime: "ClientRuntimeLike",
+        out_templates: dict[str, tuple],
+    ) -> Layout:
+        """Where a returned distributed value lands on the client.
+
+        An inout keeps its layout (resized if the server changed the
+        length); an out or return value follows the template the
+        caller preset, defaulting to uniform blockwise (§2.2: "an
+        'out' argument should be initialized by a distribution
+        template before calling the operation which returns it;
+        otherwise a uniform blockwise distribution will be assumed").
+        """
+        if slot.param is not None and slot.param.direction.sends:
+            original: DistributedSequence = args_by_name[slot.name]
+            return original.layout.resized(new_length)
+        template = template_from_spec(out_templates.get(slot.name))
+        return (template or BlockTemplate()).layout(
+            new_length, runtime.size
+        )
+
+    @staticmethod
+    def _install_reply_sequence(
+        slot: Slot,
+        layout: Layout,
+        local: np.ndarray,
+        args_by_name: dict[str, Any],
+        runtime: "ClientRuntimeLike",
+    ) -> DistributedSequence | None:
+        """In-place update for inout; fresh sequence for out/return."""
+        tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
+        if slot.param is not None and slot.param.direction.sends:
+            seq: DistributedSequence = args_by_name[slot.name]
+            seq._layout = layout
+            seq._local = np.ascontiguousarray(local, dtype=tc.element_dtype)
+            return None
+        return DistributedSequence(
+            layout.length,
+            dtype=tc.element_dtype,
+            comm=runtime.app_comm,
+            _layout=layout,
+            _local=np.ascontiguousarray(local, dtype=tc.element_dtype),
+        )
+
+    @staticmethod
+    def _raise_for_status(
+        spec: OperationSpec, status: int, body: bytes
+    ) -> None:
+        if status == wire.STATUS_OK:
+            return
+        if status == wire.STATUS_USER_EXCEPTION:
+            raise decode_user_exception(spec, body)
+        raise decode_system_exception(body)
+
+    def invoke(
+        self,
+        runtime: "ClientRuntimeLike",
+        ref: ObjectReference,
+        spec: OperationSpec,
+        args: tuple,
+        out_templates: dict[str, tuple] | None = None,
+    ) -> Any:
+        raise NotImplementedError
+
+
+class CentralizedTransfer(TransferEngine):
+    """§3.2: gather → one network message → scatter."""
+
+    mode = wire.MODE_CENTRALIZED
+
+    def invoke(
+        self,
+        runtime: "ClientRuntimeLike",
+        ref: ObjectReference,
+        spec: OperationSpec,
+        args: tuple,
+        out_templates: dict[str, tuple] | None = None,
+    ) -> Any:
+        tracer = runtime.tracer
+        req_slots = request_slots(spec)
+        if len(args) != len(req_slots):
+            raise TypeError(
+                f"{spec.name}() takes {len(req_slots)} arguments, got "
+                f"{len(args)}"
+            )
+        args_by_name = dict(zip((s.name for s in req_slots), args))
+        rts = runtime.rts
+        # "On invocation, the computing threads of the client first
+        # synchronize, marshal arguments and then the request is sent
+        # to the server as one message."
+        if rts is not None:
+            if tracer:
+                tracer.emit("sync", "client", "pre-invoke")
+            rts.synchronize()
+        request_id = runtime.next_request_id()
+
+        # Gather distributed arguments onto the communicating thread.
+        gathered: dict[str, np.ndarray | None] = {}
+        for slot in req_slots:
+            if not slot.distributed:
+                continue
+            seq = self._check_dseq_arg(slot, args_by_name[slot.name], runtime)
+            if rts is None:
+                gathered[slot.name] = seq.local_data()
+                continue
+            steps = transfer_schedule(
+                seq.layout, _single_rank_layout(seq.length())
+            )
+            if tracer:
+                for step in steps:
+                    if step.src_rank != 0:
+                        tracer.emit(
+                            "rts-gather", "client", step.src_rank, 0,
+                            step.nelems,
+                        )
+            gathered[slot.name] = rts.gather_chunks(
+                seq.local_data(), steps, root=0, out=None
+            )
+
+        reply = None
+        if runtime.rank == 0:
+            values = {
+                s.name: (
+                    gathered[s.name] if s.distributed
+                    else args_by_name[s.name]
+                )
+                for s in req_slots
+            }
+            body = encode_full_body(req_slots, values)
+            message = RequestMessage(
+                request_id=request_id,
+                object_key=ref.object_key,
+                operation=spec.name,
+                mode=self.mode,
+                oneway=spec.oneway,
+                reply_port=(
+                    None if spec.oneway else runtime.reply_port.address
+                ),
+                client_nthreads=runtime.size,
+                body=body,
+            )
+            if tracer:
+                tracer.emit("net-request", self.mode, spec.name, len(body))
+            runtime.reply_port.send(
+                ref.request_port, message.encode(), KIND_REQUEST
+            )
+            if not spec.oneway:
+                _src, _kind, payload = runtime.reply_port.recv(
+                    kind=KIND_REPLY, timeout=runtime.timeout
+                )
+                reply = wire.decode_reply(payload)
+                if reply.request_id != request_id:
+                    raise RemoteError(
+                        f"reply for request {reply.request_id} arrived "
+                        f"while waiting for {request_id}",
+                        category="INTERNAL",
+                    )
+                if tracer:
+                    tracer.emit("net-reply", self.mode, len(reply.body))
+        if spec.oneway:
+            if rts is not None:
+                rts.synchronize()
+            return None
+        return self._deliver_reply(
+            runtime, spec, reply, args_by_name, tracer,
+            out_templates or {},
+        )
+
+    def _deliver_reply(
+        self,
+        runtime: "ClientRuntimeLike",
+        spec: OperationSpec,
+        reply: ReplyMessage | None,
+        args_by_name: dict[str, Any],
+        tracer: Tracer | None,
+        out_templates: dict[str, tuple],
+    ) -> Any:
+        rts = runtime.rts
+        rep_slots = reply_slots(spec)
+        # The communicating thread decodes; peers learn status and
+        # plain values by broadcast, distributed values by scatter.
+        if runtime.rank == 0:
+            assert reply is not None
+            header: tuple[int, bytes] = (reply.status, reply.body)
+        else:
+            header = None  # type: ignore[assignment]
+        if rts is not None:
+            header = rts.broadcast(header, root=0)
+        status, body = header
+        if status != wire.STATUS_OK:
+            self._raise_for_status(spec, status, body)
+        values = (
+            decode_full_body(rep_slots, body)
+            if runtime.rank == 0
+            else {}
+        )
+
+        composed: list[Any] = []
+        for slot in rep_slots:
+            if not slot.distributed:
+                continue
+            full = values.get(slot.name)
+            length = len(full) if runtime.rank == 0 else 0
+            if rts is not None:
+                length = rts.broadcast(length, root=0)
+            layout = self._client_reply_layout(
+                slot, length, args_by_name, runtime, out_templates
+            )
+            local = np.zeros(
+                layout.local_length(runtime.rank),
+                dtype=slot.typecode.element_dtype,  # type: ignore[attr-defined]
+            )
+            if rts is None:
+                local[:] = full
+            else:
+                steps = transfer_schedule(
+                    _single_rank_layout(length), layout
+                )
+                if tracer and runtime.rank == 0:
+                    for step in steps:
+                        if step.dst_rank != 0:
+                            tracer.emit(
+                                "rts-scatter", "client", 0, step.dst_rank,
+                                step.nelems,
+                            )
+                rts.scatter_chunks(
+                    np.asarray(full) if runtime.rank == 0 else None,
+                    steps,
+                    root=0,
+                    out=local,
+                )
+            values[slot.name] = self._install_reply_sequence(
+                slot, layout, local, args_by_name, runtime
+            )
+
+        if rts is not None:
+            plain = {
+                s.name: values.get(s.name)
+                for s in rep_slots
+                if not s.distributed
+            }
+            plain = rts.broadcast(plain, root=0)
+            values.update(plain)
+            if tracer:
+                tracer.emit("sync", "client", "post-invoke")
+            rts.synchronize()
+        return compose(
+            [values[s.name] for s in produced_slots(spec)]
+        )
+
+
+class MultiPortTransfer(TransferEngine):
+    """§3.3: centralized header, direct thread-to-thread data."""
+
+    mode = wire.MODE_MULTIPORT
+
+    def invoke(
+        self,
+        runtime: "ClientRuntimeLike",
+        ref: ObjectReference,
+        spec: OperationSpec,
+        args: tuple,
+        out_templates: dict[str, tuple] | None = None,
+    ) -> Any:
+        if not ref.multiport_capable:
+            raise RemoteError(
+                f"object '{ref.object_key}' does not advertise data "
+                f"ports; multi-port transfer is unavailable",
+                category="NO_RESOURCES",
+            )
+        tracer = runtime.tracer
+        req_slots = request_slots(spec)
+        if len(args) != len(req_slots):
+            raise TypeError(
+                f"{spec.name}() takes {len(req_slots)} arguments, got "
+                f"{len(args)}"
+            )
+        args_by_name = dict(zip((s.name for s in req_slots), args))
+        rts = runtime.rts
+        if rts is not None:
+            if tracer:
+                tracer.emit("sync", "client", "pre-invoke")
+            rts.synchronize()
+        request_id = runtime.next_request_id()
+
+        # Validate distributed arguments and record their layouts in
+        # the header, so the server can compute the same schedules.
+        dist_layouts = []
+        for slot in req_slots:
+            if not slot.distributed:
+                continue
+            seq = self._check_dseq_arg(slot, args_by_name[slot.name], runtime)
+            dist_layouts.append((slot.name, seq.layout.local_lengths()))
+
+        # The invocation header is delivered using the centralized
+        # method (§3.3): the communicating thread sends it.
+        if runtime.rank == 0:
+            body = encode_plain_body(req_slots, args_by_name)
+            message = RequestMessage(
+                request_id=request_id,
+                object_key=ref.object_key,
+                operation=spec.name,
+                mode=self.mode,
+                oneway=spec.oneway,
+                reply_port=(
+                    None if spec.oneway else runtime.reply_port.address
+                ),
+                client_nthreads=runtime.size,
+                client_data_ports=runtime.data_port_addresses,
+                dist_layouts=tuple(dist_layouts),
+                out_templates=tuple(
+                    sorted((out_templates or {}).items())
+                ),
+                body=body,
+            )
+            if tracer:
+                tracer.emit("net-request", self.mode, spec.name, len(body))
+            runtime.reply_port.send(
+                ref.request_port, message.encode(), KIND_REQUEST
+            )
+
+        # Each thread ships its own chunks straight to the owning
+        # server threads.
+        for slot in req_slots:
+            if not slot.distributed:
+                continue
+            seq: DistributedSequence = args_by_name[slot.name]
+            dst_layout = server_layout(
+                ref.template_spec(spec.name, slot.name),
+                seq.length(),
+                ref.nthreads,
+            )
+            steps = transfer_schedule(seq.layout, dst_layout)
+            send_chunks(
+                runtime.data_port,
+                ref.data_ports,
+                steps,
+                runtime.rank,
+                seq.local_data(),
+                request_id,
+                slot.name,
+                wire.PHASE_REQUEST,
+                tracer,
+            )
+
+        if spec.oneway:
+            if rts is not None:
+                rts.synchronize()
+            return None
+
+        # Reply: header centralized, data chunks direct.
+        reply = None
+        if runtime.rank == 0:
+            _src, _kind, payload = runtime.reply_port.recv(
+                kind=KIND_REPLY, timeout=runtime.timeout
+            )
+            reply = wire.decode_reply(payload)
+            if reply.request_id != request_id:
+                raise RemoteError(
+                    f"reply for request {reply.request_id} arrived "
+                    f"while waiting for {request_id}",
+                    category="INTERNAL",
+                )
+            if tracer:
+                tracer.emit("net-reply", self.mode, len(reply.body))
+            header = (reply.status, reply.body, reply.dist_layouts)
+        else:
+            header = None  # type: ignore[assignment]
+        if rts is not None:
+            header = rts.broadcast(header, root=0)
+        status, body, reply_layouts = header
+        if status != wire.STATUS_OK:
+            self._raise_for_status(spec, status, body)
+
+        values = decode_plain_body(reply_slots(spec), body)
+        reply_layout_map = {
+            name: (client_lengths, server_lengths)
+            for name, client_lengths, server_lengths in reply_layouts
+        }
+        for slot in reply_slots(spec):
+            if not slot.distributed:
+                continue
+            lengths = reply_layout_map.get(slot.name)
+            if lengths is None:
+                raise RemoteError(
+                    f"reply is missing the layout of '{slot.name}'",
+                    category="MARSHAL",
+                )
+            client_lengths, server_lengths = lengths
+            layout = Layout.from_local_lengths(client_lengths)
+            src_layout = Layout.from_local_lengths(server_lengths)
+            if layout.nranks != runtime.size:
+                raise RemoteError(
+                    f"reply layout of '{slot.name}' spans "
+                    f"{layout.nranks} threads, client has {runtime.size}",
+                    category="MARSHAL",
+                )
+            if src_layout.length != layout.length:
+                raise RemoteError(
+                    f"reply layouts of '{slot.name}' disagree on length",
+                    category="MARSHAL",
+                )
+            dtype = slot.typecode.element_dtype  # type: ignore[attr-defined]
+            local = np.zeros(layout.local_length(runtime.rank), dtype=dtype)
+            # Both sides compute the same reply schedule (the server's
+            # final layout → the client layout in the reply), so the
+            # expected chunk count is exact.
+            steps = transfer_schedule(src_layout, layout)
+            expected = sum(
+                1 for s in steps if s.dst_rank == runtime.rank
+            )
+            chunks = runtime.collector.collect(
+                request_id,
+                slot.name,
+                wire.PHASE_REPLY,
+                expected,
+                timeout=runtime.timeout,
+            )
+            assemble_chunks(chunks, layout, runtime.rank, dtype, local)
+            values[slot.name] = self._install_reply_sequence(
+                slot, layout, local, args_by_name, runtime
+            )
+
+        if rts is not None:
+            if tracer:
+                tracer.emit("sync", "client", "post-invoke")
+            rts.synchronize()
+        return compose(
+            [values[s.name] for s in produced_slots(spec)]
+        )
+
+class ClientRuntimeLike:
+    """Structural documentation of what engines need from a runtime.
+
+    The real implementation is :class:`repro.orb.proxy.ClientRuntime`;
+    this stub exists so the engine signatures are self-describing.
+    """
+
+    rank: int
+    size: int
+    rts: Any
+    app_comm: Any
+    reply_port: Port
+    data_port: Port
+    data_port_addresses: tuple
+    collector: ChunkCollector
+    tracer: Tracer | None
+    timeout: float
+
+    def next_request_id(self) -> int:
+        raise NotImplementedError

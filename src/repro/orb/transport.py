@@ -1,0 +1,222 @@
+"""The transport fabric — PARDIS's NexusLite role.
+
+An in-process "network": every computing thread that talks to the ORB
+owns one or more :class:`Port` objects; a :class:`Fabric` routes byte
+payloads between ports.  Delivery is reliable and FIFO per
+(source, destination) pair, which is what the paper's synchronous
+Nexus sends over a dedicated ATM link provided.
+
+Everything crossing a port boundary must already be marshaled bytes —
+the fabric refuses Python objects, so transport can never hide a
+marshaling bug.  Messages carry a ``kind`` tag ('request', 'reply',
+'data', 'control') so a receiver can wait for the traffic class it
+expects; within a kind, matching is FIFO.
+
+The optional ``meter`` hook observes every send (source, destination,
+kind, size) — the functional plane's equivalent of the simulator's
+link, used by the protocol-trace tests for Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Message kinds understood by the ORB layers.
+KIND_REQUEST = "request"
+KIND_REPLY = "reply"
+KIND_DATA = "data"
+KIND_CONTROL = "control"
+
+
+class TransportError(RuntimeError):
+    """Port closed, unknown address, timeout, or misuse."""
+
+
+@dataclass(frozen=True, order=True)
+class PortAddress:
+    """A routable address: fabric-unique id plus a debugging label."""
+
+    port_id: int
+    label: str = field(compare=False, default="")
+
+    def __repr__(self) -> str:
+        return f"<port {self.port_id} {self.label!r}>"
+
+
+@dataclass
+class _Delivery:
+    src: PortAddress
+    kind: str
+    payload: bytes
+
+
+class Port:
+    """A receiving endpoint.  Owned (received from) by one thread."""
+
+    def __init__(self, fabric: "Fabric", address: PortAddress) -> None:
+        self._fabric = fabric
+        self.address = address
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: list[_Delivery] = []
+        self._closed = False
+
+    def _deposit(self, delivery: _Delivery) -> None:
+        with self._cond:
+            if self._closed:
+                raise TransportError(
+                    f"port {self.address} is closed"
+                )
+            self._queue.append(delivery)
+            self._cond.notify_all()
+
+    def recv(
+        self,
+        kind: str | None = None,
+        timeout: float | None = 60.0,
+    ) -> tuple[PortAddress, str, bytes]:
+        """Blocking receive of the next message (of ``kind``, if given).
+
+        Returns ``(source, kind, payload)``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise TransportError(
+                        f"port {self.address} closed while receiving"
+                    )
+                for i, delivery in enumerate(self._queue):
+                    if kind is None or delivery.kind == kind:
+                        self._queue.pop(i)
+                        return delivery.src, delivery.kind, delivery.payload
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"recv on port {self.address} timed out "
+                        f"(kind={kind})"
+                    )
+                self._cond.wait(remaining)
+
+    def try_recv(
+        self, kind: str | None = None
+    ) -> tuple[PortAddress, str, bytes] | None:
+        """Non-blocking variant of :meth:`recv`."""
+        with self._cond:
+            for i, delivery in enumerate(self._queue):
+                if kind is None or delivery.kind == kind:
+                    self._queue.pop(i)
+                    return delivery.src, delivery.kind, delivery.payload
+        return None
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def send(
+        self, dest: PortAddress, payload: bytes, kind: str = KIND_DATA
+    ) -> None:
+        """Send from this port (the reply-to address) to ``dest``."""
+        self._fabric.send(self.address, dest, payload, kind)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._fabric._unregister(self.address)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+#: Observer signature: (src, dest, kind, nbytes).
+Meter = Callable[[PortAddress, PortAddress, str, int], None]
+
+
+class Channel:
+    """A convenience pairing of two ports — a bidirectional link.
+
+    The request path of the centralized method is naturally a channel
+    between the two communicating threads; both ends read from their
+    own port and send to the peer's.
+    """
+
+    def __init__(self, a: Port, b: Port) -> None:
+        self.a = a
+        self.b = b
+
+    def ends(self) -> tuple[Port, Port]:
+        return self.a, self.b
+
+
+class Fabric:
+    """The in-process network: a registry of ports plus routing."""
+
+    def __init__(self, name: str = "fabric") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._ports: dict[int, Port] = {}
+        self._ids = itertools.count(1)
+        self._meters: list[Meter] = []
+
+    def open_port(self, label: str = "") -> Port:
+        with self._lock:
+            address = PortAddress(next(self._ids), label)
+            port = Port(self, address)
+            self._ports[address.port_id] = port
+        return port
+
+    def channel(self, label_a: str = "a", label_b: str = "b") -> Channel:
+        return Channel(self.open_port(label_a), self.open_port(label_b))
+
+    def send(
+        self,
+        src: PortAddress,
+        dest: PortAddress,
+        payload: bytes,
+        kind: str = KIND_DATA,
+    ) -> None:
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TransportError(
+                "transport carries marshaled bytes only; got "
+                f"{type(payload).__name__}"
+            )
+        payload = bytes(payload)
+        with self._lock:
+            port = self._ports.get(dest.port_id)
+            meters = list(self._meters)
+        if port is None:
+            raise TransportError(f"no port at {dest}")
+        for meter in meters:
+            meter(src, dest, kind, len(payload))
+        port._deposit(_Delivery(src, kind, payload))
+
+    def add_meter(self, meter: Meter) -> None:
+        """Observe every message crossing the fabric."""
+        with self._lock:
+            self._meters.append(meter)
+
+    def remove_meter(self, meter: Meter) -> None:
+        with self._lock:
+            self._meters.remove(meter)
+
+    def _unregister(self, address: PortAddress) -> None:
+        with self._lock:
+            self._ports.pop(address.port_id, None)
+
+    def open_port_count(self) -> int:
+        with self._lock:
+            return len(self._ports)
+
+
+#: Endpoint is the (fabric, port) pair a thread uses to talk; kept as
+#: a light alias since Port already carries its fabric.
+Endpoint = Port

@@ -1,0 +1,68 @@
+"""The PARDIS run-time-system (RTS) interface and its implementation.
+
+Paper §2.3: "A generic run-time system interface has therefore been
+built into PARDIS libraries and may also be used by the
+compiler-generated stubs.  To date only one run-time system interface
+has been specified; it encompasses the functionality of
+message-passing libraries."
+
+This subpackage provides:
+
+- :mod:`repro.rts.mpi` — a deterministic, thread-based message-passing
+  library with the mpi4py surface (lowercase pickling methods and
+  uppercase buffer methods, tag matching, full collective set).  It
+  plays the role MPICH played in the paper's testbed.
+- :mod:`repro.rts.executor` — SPMD execution: run a function over
+  ``n`` ranks, one thread per rank, fork-join or detached.
+- :mod:`repro.rts.futures` — ABC++-style futures returned by the
+  non-blocking stub methods.
+- :mod:`repro.rts.interface` — the abstract RTS interface the ORB and
+  generated stubs program against, and its message-passing realization.
+- :mod:`repro.rts.onesided` — the one-sided (put/get window) RTS
+  interface the paper lists as future work.
+"""
+
+from repro.rts.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CollectiveMismatchError,
+    DeadlockError,
+    GroupAbortedError,
+    Intracomm,
+    MAX,
+    MIN,
+    PROD,
+    Request,
+    SUM,
+    create_group,
+)
+from repro.rts.executor import RankContext, SpmdExecutor, SpmdHandle, spmd_run
+from repro.rts.futures import Future, FutureError
+from repro.rts.interface import MessagePassingRTS, RuntimeSystem
+from repro.rts.onesided import OneSidedRTS, Window, WindowError
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "Future",
+    "FutureError",
+    "GroupAbortedError",
+    "Intracomm",
+    "MAX",
+    "MIN",
+    "MessagePassingRTS",
+    "OneSidedRTS",
+    "PROD",
+    "RankContext",
+    "Window",
+    "WindowError",
+    "Request",
+    "RuntimeSystem",
+    "SUM",
+    "SpmdExecutor",
+    "SpmdHandle",
+    "create_group",
+    "spmd_run",
+]

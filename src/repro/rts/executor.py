@@ -1,0 +1,188 @@
+"""SPMD execution: run a function over ``n`` ranks, one thread each.
+
+The paper's computing threads — "a collaboration of computing threads,
+each of which is working on a similar task" — map to Python threads
+here.  :func:`spmd_run` is the fork-join entry point used by examples
+and tests; :class:`SpmdExecutor` additionally supports detached groups
+(an SPMD *server* keeps running its dispatch loop until shut down).
+
+Error containment: when any rank raises, the group is aborted so peers
+blocked in sends/receives/collectives fail fast with
+:class:`~repro.rts.mpi.GroupAbortedError` instead of hanging, and the
+original exception is re-raised to the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.rts.mpi import GroupAbortedError, Intracomm, create_group
+
+
+@dataclass
+class RankContext:
+    """Everything a rank's function receives: identity plus comm."""
+
+    rank: int
+    size: int
+    comm: Intracomm
+
+    def __repr__(self) -> str:
+        return f"<RankContext {self.rank}/{self.size}>"
+
+
+class SpmdError(RuntimeError):
+    """A rank of an SPMD run raised; carries the per-rank failures."""
+
+    def __init__(
+        self, name: str, failures: dict[int, BaseException]
+    ) -> None:
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}"
+            for r, e in sorted(failures.items())
+        )
+        super().__init__(f"SPMD group '{name}' failed — {detail}")
+        self.failures = failures
+
+
+class SpmdHandle:
+    """A running (possibly detached) SPMD group."""
+
+    def __init__(
+        self,
+        name: str,
+        comms: list[Intracomm],
+        threads: list[threading.Thread],
+        results: list[Any],
+        failures: dict[int, BaseException],
+    ) -> None:
+        self._name = name
+        self._comms = comms
+        self._threads = threads
+        self._results = results
+        self._failures = failures
+
+    @property
+    def size(self) -> int:
+        return len(self._threads)
+
+    def alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    def join(self, timeout: float | None = None) -> list[Any]:
+        """Wait for all ranks; return per-rank results in rank order.
+
+        Raises :class:`SpmdError` if any rank raised (peer aborts are
+        folded into the primary failure rather than reported alongside
+        it).
+        """
+        for thread in self._threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise TimeoutError(
+                    f"SPMD group '{self._name}' did not finish within "
+                    f"{timeout} seconds"
+                )
+        primary = {
+            r: e
+            for r, e in self._failures.items()
+            if not isinstance(e, GroupAbortedError)
+        }
+        if primary:
+            raise SpmdError(self._name, primary)
+        if self._failures:
+            # Only abort echoes — surface them as-is.
+            raise SpmdError(self._name, dict(self._failures))
+        return list(self._results)
+
+    def abort(self, reason: str = "aborted by caller") -> None:
+        """Abort the group: blocked ranks raise GroupAbortedError."""
+        if self._comms:
+            self._comms[0].abort(reason)
+
+
+class SpmdExecutor:
+    """Factory for SPMD thread groups of a fixed size."""
+
+    def __init__(self, nranks: int, name: str = "spmd") -> None:
+        if nranks <= 0:
+            raise ValueError("an SPMD group needs at least one rank")
+        self.nranks = nranks
+        self.name = name
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        rank_args: Sequence[Sequence[Any]] | None = None,
+    ) -> SpmdHandle:
+        """Start ``fn(ctx, *args)`` on every rank; return immediately.
+
+        ``rank_args`` optionally appends per-rank positional arguments
+        (entry ``r`` goes to rank ``r``).
+        """
+        if rank_args is not None and len(rank_args) != self.nranks:
+            raise ValueError(
+                f"rank_args must have exactly {self.nranks} entries"
+            )
+        comms = create_group(self.nranks, self.name)
+        results: list[Any] = [None] * self.nranks
+        failures: dict[int, BaseException] = {}
+        failure_lock = threading.Lock()
+
+        def body(rank: int) -> None:
+            ctx = RankContext(rank=rank, size=self.nranks, comm=comms[rank])
+            extra = tuple(rank_args[rank]) if rank_args is not None else ()
+            try:
+                results[rank] = fn(ctx, *args, *extra)
+            except BaseException as exc:  # noqa: BLE001 - reported via join
+                with failure_lock:
+                    failures[rank] = exc
+                if not isinstance(exc, GroupAbortedError):
+                    comms[rank].abort(
+                        f"rank {rank} raised {type(exc).__name__}: {exc}"
+                    )
+
+        threads = [
+            threading.Thread(
+                target=body,
+                args=(rank,),
+                name=f"{self.name}-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.nranks)
+        ]
+        for thread in threads:
+            thread.start()
+        return SpmdHandle(self.name, comms, threads, results, failures)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float | None = 120.0,
+        rank_args: Sequence[Sequence[Any]] | None = None,
+    ) -> list[Any]:
+        """Fork-join: spawn, wait, return per-rank results."""
+        return self.spawn(fn, *args, rank_args=rank_args).join(timeout)
+
+
+def spmd_run(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    name: str = "spmd",
+    timeout: float | None = 120.0,
+) -> list[Any]:
+    """Run ``fn(ctx, *args)`` over ``nranks`` ranks and join.
+
+    The convenience entry point::
+
+        def body(ctx):
+            return ctx.comm.allreduce(ctx.rank)
+
+        totals = spmd_run(4, body)   # [6, 6, 6, 6]
+    """
+    return SpmdExecutor(nranks, name).run(fn, *args, timeout=timeout)

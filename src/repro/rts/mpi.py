@@ -1,0 +1,509 @@
+"""A thread-based MPI-like message-passing library.
+
+This is the reproduction's stand-in for MPICH: the paper's SPMD
+applications communicate internally through "the PARDIS interface to
+the run-time system underlying the object implementation", which for
+the evaluation was MPI.  Here each rank is a Python thread; messages
+are tag-matched, and payloads are isolated on send (NumPy arrays are
+copied, everything else goes through pickle) so the distributed-memory
+semantics of real MPI hold — a receiver can never observe later
+mutations by the sender, and unpicklable payloads fail loudly exactly
+as they would under mpi4py.
+
+Following the mpi4py convention from the guides, lowercase methods
+(``send``/``recv``/``bcast``/…) accept arbitrary Python objects, while
+the uppercase ``Send``/``Recv`` pair moves NumPy buffers directly into
+caller-provided storage.
+
+All blocking calls take an optional ``timeout``; the group-wide
+default (:data:`DEFAULT_TIMEOUT`) bounds how long a mismatched program
+can hang before a :class:`DeadlockError` pinpoints the stuck call.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+#: Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default number of seconds a blocking call may wait before raising
+#: :class:`DeadlockError`.  Long enough for any legitimate test-suite
+#: wait, short enough that a deadlocked suite still terminates.
+DEFAULT_TIMEOUT = 60.0
+
+
+class DeadlockError(RuntimeError):
+    """A blocking call exceeded its timeout — the program is stuck."""
+
+
+class GroupAbortedError(RuntimeError):
+    """The group was aborted (a peer rank raised) mid-operation."""
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks of a group disagreed about which collective they entered."""
+
+
+@dataclass
+class _ReduceOp:
+    """A named reduction operator usable with ``reduce``/``allreduce``."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"<op {self.name}>"
+
+
+SUM = _ReduceOp("sum", lambda a, b: a + b)
+PROD = _ReduceOp("prod", lambda a, b: a * b)
+MAX = _ReduceOp("max", lambda a, b: np.maximum(a, b))
+MIN = _ReduceOp("min", lambda a, b: np.minimum(a, b))
+
+
+def _isolate(payload: Any) -> Any:
+    """Copy a payload so sender and receiver share no mutable state."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if payload is None or isinstance(payload, (bool, int, float, str, bytes)):
+        return payload
+    return pickle.loads(pickle.dumps(payload))
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    Sends are buffered (the payload is isolated eagerly), so a send
+    request is born complete.  Receive requests complete on
+    :meth:`wait`/:meth:`test`.
+    """
+
+    def __init__(
+        self,
+        completed: bool = True,
+        result: Any = None,
+        poll: Callable[[float | None], Any] | None = None,
+        try_poll: Callable[[], tuple[bool, Any]] | None = None,
+    ) -> None:
+        self._completed = completed
+        self._result = result
+        self._poll = poll
+        self._try_poll = try_poll
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; return the received object (or None
+        for sends)."""
+        if not self._completed:
+            assert self._poll is not None
+            self._result = self._poll(timeout)
+            self._completed = True
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check, mpi4py-style."""
+        if not self._completed and self._try_poll is not None:
+            done, result = self._try_poll()
+            if done:
+                self._completed = True
+                self._result = result
+        return self._completed, self._result
+
+
+class _Group:
+    """Shared state of one communicator group."""
+
+    def __init__(self, size: int, name: str) -> None:
+        if size <= 0:
+            raise ValueError("group size must be positive")
+        self.size = size
+        self.name = name
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.mailboxes: list[list[_Message]] = [[] for _ in range(size)]
+        self.aborted = False
+        self.abort_reason: str | None = None
+        # Collective rendezvous state (phased; see _Collective).
+        self.coll_lock = threading.Lock()
+        self.coll_cond = threading.Condition(self.coll_lock)
+        self.coll_generation = 0
+        self.coll_arrived = 0
+        self.coll_opname: str | None = None
+        self.coll_board: dict[int, Any] = {}
+        # Completed boards, keyed by generation, each paired with the
+        # number of ranks still to read it (so a fast rank starting the
+        # next collective can never clobber an unread result).
+        self.coll_published: dict[int, list[Any]] = {}
+
+    def abort(self, reason: str) -> None:
+        with self.cond:
+            self.aborted = True
+            self.abort_reason = reason
+            self.cond.notify_all()
+        with self.coll_cond:
+            self.coll_cond.notify_all()
+
+    def check_alive(self) -> None:
+        if self.aborted:
+            raise GroupAbortedError(
+                f"group '{self.name}' aborted: {self.abort_reason}"
+            )
+
+
+class Intracomm:
+    """Communicator over a thread group, one instance per rank.
+
+    API mirrors mpi4py's ``Intracomm`` for the subset PARDIS needs:
+    point-to-point with tags and wildcards, non-blocking variants, the
+    buffer-based ``Send``/``Recv`` fast path, and the collective set
+    ``barrier``, ``bcast``, ``scatter``, ``gather``, ``allgather``,
+    ``alltoall``, ``reduce``, ``allreduce``.
+    """
+
+    def __init__(self, group: _Group, rank: int) -> None:
+        if not 0 <= rank < group.size:
+            raise ValueError(f"rank {rank} outside group of {group.size}")
+        self._group = group
+        self._rank = rank
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    @property
+    def name(self) -> str:
+        return self._group.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<Intracomm '{self._group.name}' rank {self._rank} of "
+            f"{self._group.size}>"
+        )
+
+    # -- point-to-point --------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: isolates ``obj`` and deposits it, never blocks."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} outside group")
+        if tag < 0:
+            raise ValueError("send tag must be non-negative")
+        message = _Message(self._rank, tag, _isolate(obj))
+        group = self._group
+        with group.cond:
+            group.check_alive()
+            group.mailboxes[dest].append(message)
+            group.cond.notify_all()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; buffered, so complete at once."""
+        self.send(obj, dest, tag)
+        return Request(completed=True)
+
+    def _match(
+        self, source: int, tag: int
+    ) -> _Message | None:
+        """Pop the first matching message.  Caller holds the lock."""
+        box = self._group.mailboxes[self._rank]
+        for i, message in enumerate(box):
+            if source not in (ANY_SOURCE, message.src):
+                continue
+            if tag not in (ANY_TAG, message.tag):
+                continue
+            return box.pop(i)
+        return None
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        status: dict | None = None,
+    ) -> Any:
+        """Blocking tag-matched receive.
+
+        ``status``, when given, is filled with the matched ``source``
+        and ``tag`` (a light-weight MPI_Status).
+        """
+        deadline = time.monotonic() + (
+            DEFAULT_TIMEOUT if timeout is None else timeout
+        )
+        group = self._group
+        with group.cond:
+            while True:
+                group.check_alive()
+                message = self._match(source, tag)
+                if message is not None:
+                    if status is not None:
+                        status["source"] = message.src
+                        status["tag"] = message.tag
+                    return message.payload
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self._rank} of '{group.name}': recv("
+                        f"source={source}, tag={tag}) timed out"
+                    )
+                group.cond.wait(remaining)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive returning a :class:`Request`."""
+
+        def poll(timeout: float | None) -> Any:
+            return self.recv(source, tag, timeout=timeout)
+
+        def try_poll() -> tuple[bool, Any]:
+            with self._group.cond:
+                self._group.check_alive()
+                message = self._match(source, tag)
+            if message is None:
+                return False, None
+            return True, message.payload
+
+        return Request(completed=False, poll=poll, try_poll=try_poll)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching message pending?"""
+        group = self._group
+        with group.cond:
+            group.check_alive()
+            for message in group.mailboxes[self._rank]:
+                if source not in (ANY_SOURCE, message.src):
+                    continue
+                if tag not in (ANY_TAG, message.tag):
+                    continue
+                return True
+        return False
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        """Combined send+receive (safe against exchange deadlock since
+        sends are buffered)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag, timeout=timeout)
+
+    # -- NumPy buffer fast path -------------------------------------------
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send of a NumPy array (uppercase mpi4py convention)."""
+        array = np.asarray(array)
+        self.send(array, dest, tag)
+
+    def Recv(
+        self,
+        buffer: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> None:
+        """Receive directly into ``buffer`` (must be large enough)."""
+        payload = self.recv(source, tag, timeout=timeout)
+        payload = np.asarray(payload)
+        if payload.size > buffer.size:
+            raise ValueError(
+                f"receive buffer holds {buffer.size} elements but the "
+                f"message carries {payload.size}"
+            )
+        flat = buffer.reshape(-1)
+        flat[: payload.size] = payload.reshape(-1)
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective(self, opname: str, contribute: Any) -> dict[int, Any]:
+        """Phased rendezvous shared by all collectives.
+
+        Every rank deposits ``contribute`` on the board, everyone waits
+        until the group is complete, reads the full board, and the last
+        reader opens the next generation.  Mismatched collective names
+        across ranks raise :class:`CollectiveMismatchError` on every
+        rank, which is the failure mode the tests inject.
+        """
+        group = self._group
+        deadline = time.monotonic() + DEFAULT_TIMEOUT
+        with group.coll_cond:
+            if group.aborted:
+                raise GroupAbortedError(
+                    f"group '{group.name}' aborted: {group.abort_reason}"
+                )
+            generation = group.coll_generation
+            if group.coll_arrived == 0:
+                group.coll_opname = opname
+                group.coll_board = {}
+            elif group.coll_opname != opname:
+                mismatch = (
+                    f"rank {self._rank} entered collective '{opname}' "
+                    f"while the group is executing "
+                    f"'{group.coll_opname}'"
+                )
+                group.aborted = True
+                group.abort_reason = mismatch
+                group.coll_cond.notify_all()
+                raise CollectiveMismatchError(mismatch)
+            group.coll_board[self._rank] = contribute
+            group.coll_arrived += 1
+            if group.coll_arrived == group.size:
+                # Rendezvous complete: publish for the waiters, reset
+                # the rendezvous slots for the next collective.
+                board = dict(group.coll_board)
+                if group.size > 1:
+                    group.coll_published[generation] = [
+                        board, group.size - 1
+                    ]
+                group.coll_generation += 1
+                group.coll_arrived = 0
+                group.coll_board = {}
+                group.coll_opname = None
+                group.coll_cond.notify_all()
+                return board
+            while group.coll_generation == generation:
+                if group.aborted:
+                    raise GroupAbortedError(
+                        f"group '{group.name}' aborted: "
+                        f"{group.abort_reason}"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"rank {self._rank} of '{group.name}': collective "
+                        f"'{opname}' timed out waiting for peers"
+                    )
+                group.coll_cond.wait(remaining)
+            entry = group.coll_published[generation]
+            entry[1] -= 1
+            if entry[1] == 0:
+                del group.coll_published[generation]
+            return entry[0]
+
+    def barrier(self) -> None:
+        """Block until all ranks arrive."""
+        self._collective("barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast from ``root``; all ranks return the value."""
+        self._check_root(root)
+        board = self._collective(
+            f"bcast@{root}", _isolate(obj) if self._rank == root else None
+        )
+        # Isolate on every rank: the board entry is shared with the
+        # other readers, so handing it out directly would alias them.
+        return _isolate(board[root])
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root supplies one object per rank; each rank gets its own."""
+        self._check_root(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter root must supply exactly {self.size} items"
+                )
+            contribution: Any = [_isolate(o) for o in objs]
+        else:
+            contribution = None
+        board = self._collective(f"scatter@{root}", contribution)
+        return _isolate(board[root][self._rank])
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Root returns the list of contributions in rank order."""
+        self._check_root(root)
+        board = self._collective(f"gather@{root}", _isolate(obj))
+        if self._rank != root:
+            return None
+        return [board[r] for r in range(self.size)]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every rank returns all contributions in rank order."""
+        board = self._collective("allgather", _isolate(obj))
+        return [_isolate(board[r]) for r in range(self.size)]
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Rank i's element j goes to rank j's slot i."""
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall requires exactly {self.size} items per rank"
+            )
+        board = self._collective(
+            "alltoall", [_isolate(o) for o in objs]
+        )
+        return [_isolate(board[r][self._rank]) for r in range(self.size)]
+
+    def reduce(
+        self, obj: Any, op: _ReduceOp = SUM, root: int = 0
+    ) -> Any | None:
+        """Reduce contributions with ``op``; only root gets the result."""
+        self._check_root(root)
+        board = self._collective(f"reduce@{root}:{op.name}", _isolate(obj))
+        if self._rank != root:
+            return None
+        return self._fold(board, op)
+
+    def allreduce(self, obj: Any, op: _ReduceOp = SUM) -> Any:
+        """Reduce and broadcast the result to every rank."""
+        board = self._collective(f"allreduce:{op.name}", _isolate(obj))
+        return self._fold(board, op)
+
+    def _fold(self, board: dict[int, Any], op: _ReduceOp) -> Any:
+        result = board[0]
+        for r in range(1, self.size):
+            result = op(result, board[r])
+        return _isolate(result)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root rank {root} outside group")
+
+    def dup(self, name: str | None = None) -> "Intracomm":
+        """Collective.  A new communicator over the same ranks with
+        independent mailboxes and collective state (MPI_Comm_dup) —
+        traffic on the duplicate can never match traffic here."""
+        fresh = (
+            _Group(self.size, name or f"{self._group.name}:dup")
+            if self._rank == 0
+            else None
+        )
+        board = self._collective("dup", fresh)
+        shared = board[0]
+        assert isinstance(shared, _Group)
+        return Intracomm(shared, self._rank)
+
+    # -- control -----------------------------------------------------------
+
+    def abort(self, reason: str = "application abort") -> None:
+        """Abort the whole group: every blocked peer raises
+        :class:`GroupAbortedError`."""
+        self._group.abort(reason)
+
+
+def create_group(size: int, name: str = "group") -> list[Intracomm]:
+    """Create a fresh group and return one communicator per rank."""
+    group = _Group(size, name)
+    return [Intracomm(group, r) for r in range(size)]

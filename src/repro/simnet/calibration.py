@@ -1,0 +1,143 @@
+"""Calibrated constants for the paper's testbed (§3.1).
+
+The experiment: "a client executing on a 4-node SGI Onyx R4400 [invokes]
+an SPMD object executing on a 10-node SGI PC R8000.  The network
+transfer is conducted over a 155 MB/s ATM link using the LAN Emulation
+protocol … machines as well as the link were dedicated … MPICH 1.0.12
+compiled to use shared memory … NexusLite [transport], sends and
+receives for large data sizes are in practice synchronous."
+
+Calibration strategy (documented so the numbers are auditable):
+
+- ``link_bandwidth`` = 40 MB/s: the effective payload rate of the LANE
+  ATM path.  It exceeds the *measured* single-pair bandwidth because a
+  synchronous sender stalls between segments; it bounds the multi-port
+  aggregate, which the paper measured at 26.7 MB/s effective
+  (including all invocation overhead).
+- ``segment_bytes`` = 256 KiB: the NexusLite staging granularity; each
+  segment is a rendezvous, so ~32 stalls per 2^20-double argument.
+- Stall parameters: fitted to Table 1's pack+send column.  At
+  (client 1, server 1) pack+send ≈ 421 ms for 8 MiB → ~11.7 ms per
+  segment, of which 6.25 ms is wire time → base stalls ≈ 2.6 ms per
+  machine (an IRIX scheduling latency).  The growth to 446 ms at
+  8 server threads fixes the server's ``stall_scale``; the jump to
+  ~490-577 ms with 4 client threads fixes the client's (the Onyx is
+  both slower and fully subscribed at 4 threads, hence the larger
+  scale).
+- Memory bandwidths: Table 1's gather/scatter column (≈0.2 ms at one
+  thread, saturating at ~26 ms for 8 MiB spread over 8 threads) gives
+  ≈ 330 MB/s effective copy rate plus a small per-chunk message cost.
+- Pack/unpack: Table 2's per-thread marshaling columns (≈37 ms to pack
+  8 MiB on one Onyx CPU → ≈225 MB/s; ≈17-23 ms to unpack on an R8000
+  → ≈450 MB/s).
+- ``request_overhead``: per-invocation fixed cost (request header
+  processing, dispatch, reply), visible as the floor that makes both
+  methods equally slow for tiny arguments in Figure 4.
+
+None of these claim to be the *true* 1997 constants — they are chosen
+so the simulated Tables 1-2 and Figure 4 land near the published
+values; EXPERIMENTS.md records paper-vs-simulated for every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simnet.machine import MachineModel
+
+#: The paper's standard argument: 2^20 doubles, one "in" parameter.
+PAPER_SEQUENCE_DOUBLES = 2**20
+PAPER_SEQUENCE_BYTES = PAPER_SEQUENCE_DOUBLES * 8
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything the invocation models need about the testbed."""
+
+    client: MachineModel
+    server: MachineModel
+    #: Raw effective link bandwidth (MB/s).
+    link_bandwidth: float
+    #: One-way wire latency per transfer (ms).
+    link_latency: float
+    #: Synchronous staging segment (bytes).
+    segment_bytes: int
+    #: Fixed per-invocation cost: header marshal, dispatch, reply (ms).
+    request_overhead: float
+    #: Extra stall when BOTH machines are multi-threaded — descheduling
+    #: on one end compounds wait on the other (ms at the joint limit).
+    stall_interaction: float = 0.0
+    #: Fraction of the thread-count-dependent stall that survives in
+    #: the multi-port method.  Its receivers block in the OS on their
+    #: own ports (no MPICH busy-wait spinners competing for CPUs), so
+    #: wakeup is prompt; the centralized method's non-communicating
+    #: threads spin in shared-memory MPI and steal quanta.
+    multiport_stall_damping: float = 1.0
+    #: Whether scheduler interference is modeled (ablation switch).
+    scheduler_interference: bool = True
+
+    def pair_stall(
+        self, nclient: int, nserver: int, multiport: bool = False
+    ) -> float:
+        """Per-segment rendezvous stall for one client-server pair (ms)."""
+        if not self.scheduler_interference:
+            return 0.0
+        base = self.client.stall_base + self.server.stall_base
+        grow_c = 1.0 - 1.0 / nclient
+        grow_s = 1.0 - 1.0 / nserver
+        scale = (
+            self.client.stall_scale * grow_c
+            + self.server.stall_scale * grow_s
+            + self.stall_interaction * grow_c * grow_s
+        )
+        if multiport:
+            scale *= self.multiport_stall_damping
+        return base + scale
+
+    def client_stall(self, nthreads: int) -> float:
+        if not self.scheduler_interference:
+            return 0.0
+        return self.client.stall(nthreads)
+
+    def server_stall(self, nthreads: int) -> float:
+        if not self.scheduler_interference:
+            return 0.0
+        return self.server.stall(nthreads)
+
+    def without_scheduler(self) -> "SimConfig":
+        """Ablation: an ideal scheduler (no rendezvous stalls)."""
+        return replace(self, scheduler_interference=False)
+
+
+def paper_testbed() -> SimConfig:
+    """The calibrated SGI Onyx → SGI Power Challenge testbed."""
+    client = MachineModel(
+        name="SGI Onyx R4400 (4 CPUs)",
+        ncpus=4,
+        mem_bandwidth=95.0,
+        pack_bandwidth=225.0,
+        unpack_bandwidth=225.0,
+        stall_base=2.3,
+        stall_scale=2.6,
+        message_overhead=0.5,
+    )
+    server = MachineModel(
+        name="SGI Power Challenge R8000 (10 CPUs)",
+        ncpus=10,
+        mem_bandwidth=300.0,
+        pack_bandwidth=280.0,
+        unpack_bandwidth=450.0,
+        stall_base=2.3,
+        stall_scale=0.9,
+        message_overhead=0.5,
+    )
+    return SimConfig(
+        client=client,
+        server=server,
+        link_bandwidth=40.0,
+        link_latency=0.5,
+        segment_bytes=256 * 1024,
+        request_overhead=2.0,
+        stall_interaction=2.3,
+        multiport_stall_damping=0.35,
+    )

@@ -1,0 +1,194 @@
+"""Concurrent-client contention: several parallel clients, one object.
+
+The paper separates the multi-port invocation header from argument
+transfer because "sending the invocation to every computing thread …
+could lead to contention between different invoking clients" (§3.3).
+The functional plane enforces the correctness half of that argument
+(every thread serves the same request); this model quantifies the
+*throughput* half: several independent client applications fire one
+invocation each at the same SPMD object, all sharing the single
+physical link, while the object processes requests one at a time.
+
+Key effect captured: argument transfer for request *i+1* overlaps the
+object's processing of request *i* (ports buffer), so the pipeline's
+throughput is set by max(link, per-request processing) — and the
+multi-port method keeps both stages shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist import BlockTemplate, transfer_schedule
+from repro.simnet.calibration import SimConfig
+from repro.simnet.engine import Gate, Simulator
+from repro.simnet.invocation import _make_link, _segments
+
+
+@dataclass(frozen=True)
+class ConcurrentBreakdown:
+    """Aggregate results of a k-client burst."""
+
+    method: str
+    nclients: int
+    client_threads: int
+    nserver: int
+    nbytes: int
+    #: Time until the last client's reply (ms).
+    makespan: float
+    #: Mean per-request latency, request send to reply (ms).
+    mean_latency: float
+    #: Aggregate payload rate over the burst (MB/s).
+    aggregate_bandwidth: float
+    link_utilization: float
+
+
+def simulate_concurrent(
+    cfg: SimConfig,
+    method: str,
+    nclients: int,
+    client_threads: int,
+    nserver: int,
+    nbytes: int,
+    *,
+    element_size: int = 8,
+) -> ConcurrentBreakdown:
+    """``nclients`` independent client apps each invoke once at t=0.
+
+    Each client application runs on its own machine (its own pack
+    capacity and scheduler state) — the shared resources are the one
+    link and the one SPMD object.  The object serves requests in the
+    order their *headers* arrive, one at a time, exactly like the
+    functional plane's dispatch loop.
+    """
+    if method not in ("centralized", "multiport"):
+        raise ValueError(f"unknown method {method!r}")
+    if nclients < 1:
+        raise ValueError("need at least one client")
+    nelems = nbytes // element_size
+    client_layout = BlockTemplate().layout(nelems, client_threads)
+    server_layout = BlockTemplate().layout(nelems, nserver)
+    schedule = transfer_schedule(client_layout, server_layout)
+    sim = Simulator()
+    link = _make_link(sim, cfg)
+    stall = cfg.pair_stall(
+        client_threads, nserver, multiport=method == "multiport"
+    )
+    finish_times: list[float] = [0.0] * nclients
+    #: Transfer-complete events, one per request.
+    arrived: list[Gate] = []
+    #: The object's serial processing queue (ready events in order).
+    reply_events = [sim.event(f"reply{j}") for j in range(nclients)]
+
+    if method == "centralized":
+        for _ in range(nclients):
+            arrived.append(sim.gate(1))
+
+        def client_app(j: int):
+            # Gather + pack on the client's own machine.
+            remote = [
+                client_layout.local_length(r) * element_size
+                for r in range(1, client_threads)
+                if client_layout.local_length(r)
+            ]
+            gather = cfg.client.gather_time(remote)
+            if gather:
+                yield sim.timeout(gather)
+            yield sim.timeout(cfg.client.pack_time(nbytes))
+            for seg in _segments(nbytes, cfg.segment_bytes):
+                if stall:
+                    yield sim.timeout(stall)
+                yield link.transmit(seg)
+            arrived[j].arrive()
+            yield reply_events[j]
+            finish_times[j] = sim.now + cfg.request_overhead
+
+        def server_proc():
+            for j in range(nclients):
+                yield arrived[j]
+                # Serialized unpack + scatter at the object.
+                yield sim.timeout(cfg.server.unpack_time(nbytes))
+                out = [
+                    server_layout.local_length(r) * element_size
+                    for r in range(1, nserver)
+                    if server_layout.local_length(r)
+                ]
+                scatter = cfg.server.scatter_time(out)
+                if scatter:
+                    yield sim.timeout(scatter)
+                if stall:
+                    yield sim.timeout(stall)
+                yield link.transmit(64.0)
+                reply_events[j].succeed()
+
+        for j in range(nclients):
+            sim.process(client_app(j), f"client{j}")
+        sim.process(server_proc(), "server")
+
+    else:
+        chunk_counts = len([s for s in schedule if s.nelems])
+        for _ in range(nclients):
+            arrived.append(sim.gate(max(1, chunk_counts)))
+
+        def mp_thread(j: int, rank: int):
+            local_bytes = client_layout.local_length(rank) * element_size
+            if local_bytes:
+                yield sim.timeout(cfg.client.pack_time(local_bytes))
+            sent_any = False
+            for step in schedule:
+                if step.src_rank != rank or not step.nelems:
+                    continue
+                for seg in _segments(
+                    step.nelems * element_size, cfg.segment_bytes
+                ):
+                    if stall:
+                        yield sim.timeout(stall)
+                    yield link.transmit(seg)
+                arrived[j].arrive()
+                sent_any = True
+            if not sent_any and rank == 0 and chunk_counts == 0:
+                arrived[j].arrive()
+
+        def mp_waiter(j: int):
+            yield reply_events[j]
+            finish_times[j] = sim.now + cfg.request_overhead
+
+        def server_proc():
+            for j in range(nclients):
+                yield arrived[j]
+                # Parallel unpack across the object's threads: the
+                # slowest block gates the post-invocation barrier.
+                worst = max(
+                    (
+                        server_layout.local_length(r) * element_size
+                        for r in range(nserver)
+                    ),
+                    default=0,
+                )
+                if worst:
+                    yield sim.timeout(cfg.server.unpack_time(worst))
+                if stall:
+                    yield sim.timeout(stall)
+                yield link.transmit(64.0)
+                reply_events[j].succeed()
+
+        for j in range(nclients):
+            for rank in range(client_threads):
+                sim.process(mp_thread(j, rank), f"c{j}t{rank}")
+            sim.process(mp_waiter(j), f"w{j}")
+        sim.process(server_proc(), "server")
+
+    sim.run()
+    makespan = max(finish_times)
+    total_mb = nclients * nbytes / (1024.0 * 1024.0)
+    return ConcurrentBreakdown(
+        method=method,
+        nclients=nclients,
+        client_threads=client_threads,
+        nserver=nserver,
+        nbytes=nbytes,
+        makespan=makespan,
+        mean_latency=sum(finish_times) / nclients,
+        aggregate_bandwidth=total_mb / (makespan / 1e3),
+        link_utilization=link.utilization(),
+    )

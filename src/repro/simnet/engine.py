@@ -1,0 +1,182 @@
+"""A minimal generator-based discrete-event engine.
+
+Processes are Python generators that ``yield`` events; the simulator
+resumes a process when the event it waits on triggers.  The engine is
+deterministic: simultaneous events fire in schedule order.
+
+The vocabulary is deliberately small — timeouts, one-shot events,
+conjunction (:class:`AllOf`), counting gates (:class:`Gate`) — because
+the invocation models only need rendezvous and delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Deadlock, double-trigger, or a process error."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        # Callbacks run via the event queue so ordering is global.
+        self.sim._schedule(0.0, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+
+class Process(Event):
+    """A running generator; triggers (as an event) when it returns."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(sim, name)
+        self._generator = generator
+        sim._schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, sent: Any) -> None:
+        try:
+            target = self._generator.send(sent)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:
+            raise SimulationError(
+                f"process {self.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                f"not an Event"
+            )
+        target.add_callback(lambda event: self._resume(event.value))
+
+
+class AllOf(Event):
+    """Triggers when every constituent event has triggered."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, "all_of")
+        events = list(events)
+        self._waiting = len(events)
+        if not events:
+            self.succeed([])
+            return
+        self._values: list[Any] = [None] * len(events)
+        for index, event in enumerate(events):
+            event.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            self._values[index] = event.value
+            self._waiting -= 1
+            if self._waiting == 0:
+                self.succeed(self._values)
+
+        return collect
+
+
+class Gate(Event):
+    """Triggers after :meth:`arrive` has been called ``n`` times.
+
+    The simulation's barrier/chunk-counting primitive.  Arrival times
+    are recorded so a model can report per-participant barrier waits.
+    """
+
+    def __init__(self, sim: "Simulator", n: int, name: str = "gate") -> None:
+        super().__init__(sim, name)
+        if n < 0:
+            raise SimulationError("gate count cannot be negative")
+        self._remaining = n
+        self.arrival_times: list[float] = []
+        if n == 0:
+            self.succeed()
+
+    def arrive(self) -> "Gate":
+        if self._remaining <= 0:
+            raise SimulationError(f"gate {self.name!r} over-arrived")
+        self.arrival_times.append(self.sim.now)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed()
+        return self
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of thunks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), fn)
+        )
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event triggering ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError("negative timeout")
+        event = Event(self, f"timeout({delay})")
+        self._schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = "process"
+    ) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def gate(self, n: int, name: str = "gate") -> Gate:
+        return Gate(self, n, name)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        while self._heap:
+            time, _seq, fn = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, _seq, fn))
+                self.now = until
+                return self.now
+            self.now = time
+            fn()
+        return self.now

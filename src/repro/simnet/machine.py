@@ -1,0 +1,83 @@
+"""Per-machine cost models: CPUs, memory paths and the scheduler.
+
+Times are milliseconds, sizes bytes, rates MB/s (converted internally).
+
+The scheduler-interference model captures the paper's observation
+(§3.2): "the computing threads are descheduled on issuing system calls
+and … increasing the number of computing threads decreases the
+probability that a particular thread will be scheduled at any time.
+Communication always takes place between a particular pair of threads
+and is synchronous for large data sizes, so this behavior will cause
+the time of send to increase."
+
+Each synchronous segment rendezvous therefore stalls for
+
+    stall(n) = stall_base + stall_scale * (1 - 1/n)
+
+on each machine, where ``n`` is the number of computing threads the
+application runs there: with one thread the only cost is the base
+syscall/reschedule latency; every extra thread lowers the chance that
+the *particular* thread the rendezvous needs is the one on a CPU, with
+diminishing effect (the 1/n saturation).  The multi-port method does
+not beat this per-pair cost — it overlaps it: while one pair is
+stalled another pair's data occupies the link (see
+:mod:`repro.simnet.network`), which is the paper's "it is more
+probable that any of a number of threads will be scheduled than that a
+particular thread will be scheduled".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One end of the testbed."""
+
+    name: str
+    ncpus: int
+    #: Shared-memory copy bandwidth for RTS gather/scatter (MB/s).
+    mem_bandwidth: float
+    #: Marshaling (pack) rate (MB/s).
+    pack_bandwidth: float
+    #: Unmarshaling (unpack) rate (MB/s).
+    unpack_bandwidth: float
+    #: Per-rendezvous stall with a single computing thread (ms).
+    stall_base: float
+    #: Additional stall at the many-thread limit (ms).
+    stall_scale: float
+    #: Fixed per-RTS-message overhead for gather/scatter chunks (ms).
+    message_overhead: float = 0.5
+
+    def stall(self, nthreads: int) -> float:
+        """Expected scheduler stall per rendezvous (ms)."""
+        if nthreads < 1:
+            raise ValueError("a machine runs at least one thread")
+        return self.stall_base + self.stall_scale * (1.0 - 1.0 / nthreads)
+
+    def pack_time(self, nbytes: float) -> float:
+        """Marshal ``nbytes`` on one thread (ms)."""
+        return nbytes / (self.pack_bandwidth * _MB) * 1e3
+
+    def unpack_time(self, nbytes: float) -> float:
+        """Unmarshal ``nbytes`` on one thread (ms)."""
+        return nbytes / (self.unpack_bandwidth * _MB) * 1e3
+
+    def copy_time(self, nbytes: float) -> float:
+        """Move ``nbytes`` across the memory system (ms)."""
+        return nbytes / (self.mem_bandwidth * _MB) * 1e3
+
+    def gather_time(self, chunk_bytes: list[float]) -> float:
+        """RTS gather onto the communicating thread: it receives each
+        remote chunk in turn (sends overlap, the receiver is the
+        bottleneck) — one copy plus one message overhead per chunk."""
+        return sum(
+            self.copy_time(nbytes) + self.message_overhead
+            for nbytes in chunk_bytes
+        )
+
+    #: Scatter mirrors gather: the communicating thread pushes chunks.
+    scatter_time = gather_time

@@ -1,0 +1,127 @@
+"""Tests for the benchmark table generators and the two CLIs."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    TABLE1_PAPER,
+    TABLE2_PAPER,
+    concurrent_clients,
+    figure4,
+    format_figure4,
+    format_table,
+    table1,
+    table2,
+    uneven_split,
+)
+from repro.bench.tables import (
+    TableResult,
+    ablation_gather,
+    ablation_header,
+    ablation_scheduler,
+)
+
+
+class TestTableGenerators:
+    def test_table1_has_all_paper_cells(self):
+        result = table1()
+        assert len(result.rows) == len(TABLE1_PAPER)
+        # Every row carries its paper column alongside.
+        assert "paper" in result.headers
+
+    def test_table2_has_all_paper_cells(self):
+        result = table2()
+        assert len(result.rows) == len(TABLE2_PAPER)
+
+    def test_figure4_covers_seven_decades(self):
+        result = figure4()
+        assert [row[0] for row in result.rows] == [
+            f"1e{e}" for e in range(1, 8)
+        ]
+
+    def test_uneven_has_reference_row(self):
+        result = uneven_split()
+        assert result.rows[0][0] == "even (block)"
+        assert result.rows[0][2] == "1.00x"
+
+    def test_ablations_render(self):
+        for generator in (
+            ablation_scheduler,
+            ablation_gather,
+            ablation_header,
+            concurrent_clients,
+        ):
+            result = generator()
+            assert result.rows and result.title
+
+    def test_format_table_alignment(self):
+        result = TableResult(
+            title="T",
+            headers=["a", "long-header"],
+            rows=[["1", "2"], ["333", "4"]],
+            notes=["a note"],
+        )
+        text = format_table(result)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:5]}
+        assert len(widths) == 1  # header, rule and rows align
+        assert "note: a note" in text
+
+    def test_format_figure4_has_ascii_plot(self):
+        text = format_figure4(figure4())
+        assert "|" in text and ("m" in text or "*" in text)
+
+
+class TestCli:
+    def run_cli(self, module, *args):
+        return subprocess.run(
+            [sys.executable, "-m", module, *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_bench_cli_single_table(self):
+        result = self.run_cli("repro.bench", "table1")
+        assert result.returncode == 0
+        assert "Table 1" in result.stdout
+
+    def test_bench_cli_rejects_unknown(self):
+        result = self.run_cli("repro.bench", "table99")
+        assert result.returncode != 0
+
+    def test_bench_cli_all(self):
+        result = self.run_cli("repro.bench")
+        assert result.returncode == 0
+        for marker in ("Table 1", "Table 2", "Figure 4", "Uneven",
+                       "Concurrent", "Ablation"):
+            assert marker in result.stdout
+
+    def test_idl_cli_compiles_to_stdout(self, tmp_path):
+        source = tmp_path / "t.idl"
+        source.write_text(
+            "interface hello { void ping(); };", encoding="utf-8"
+        )
+        result = self.run_cli("repro.idl", str(source))
+        assert result.returncode == 0
+        assert "class hello(_ClientProxy):" in result.stdout
+
+    def test_idl_cli_writes_output_file(self, tmp_path):
+        source = tmp_path / "t.idl"
+        source.write_text(
+            "interface hello { void ping(); };", encoding="utf-8"
+        )
+        out = tmp_path / "out.py"
+        result = self.run_cli("repro.idl", str(source), "-o", str(out))
+        assert result.returncode == 0
+        compile(out.read_text(encoding="utf-8"), str(out), "exec")
+
+    def test_idl_cli_reports_errors(self, tmp_path):
+        source = tmp_path / "bad.idl"
+        source.write_text("interface {", encoding="utf-8")
+        result = self.run_cli("repro.idl", str(source))
+        assert result.returncode == 1
+        assert "bad.idl" in result.stderr

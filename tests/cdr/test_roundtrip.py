@@ -1,0 +1,385 @@
+"""CDR encode/decode roundtrip tests, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdr import (
+    ArrayTC,
+    CdrDecoder,
+    CdrEncoder,
+    DSequenceTC,
+    EnumTC,
+    ExceptionTC,
+    MarshalError,
+    ObjRefTC,
+    SequenceTC,
+    StructTC,
+    TC_BOOLEAN,
+    TC_CHAR,
+    TC_DOUBLE,
+    TC_FLOAT,
+    TC_LONG,
+    TC_LONGLONG,
+    TC_OCTET,
+    TC_SHORT,
+    TC_STRING,
+    TC_ULONG,
+    TC_ULONGLONG,
+    TC_USHORT,
+    TC_VOID,
+    decode_value,
+    encode_value,
+)
+from repro.cdr.typecodes import StringTC
+
+
+def roundtrip(typecode, value):
+    return decode_value(typecode, encode_value(typecode, value))
+
+
+class TestBasicTypes:
+    @pytest.mark.parametrize(
+        "typecode,value",
+        [
+            (TC_SHORT, -1234),
+            (TC_USHORT, 65535),
+            (TC_LONG, -(2**31)),
+            (TC_ULONG, 2**32 - 1),
+            (TC_LONGLONG, -(2**63)),
+            (TC_ULONGLONG, 2**64 - 1),
+            (TC_OCTET, 200),
+        ],
+    )
+    def test_integer_roundtrip(self, typecode, value):
+        assert roundtrip(typecode, value) == value
+
+    def test_float_roundtrip(self):
+        assert roundtrip(TC_DOUBLE, 3.141592653589793) == 3.141592653589793
+        assert roundtrip(TC_FLOAT, 0.5) == 0.5
+
+    def test_boolean_roundtrip(self):
+        assert roundtrip(TC_BOOLEAN, True) is True
+        assert roundtrip(TC_BOOLEAN, False) is False
+
+    def test_char_roundtrip(self):
+        assert roundtrip(TC_CHAR, "x") == "x"
+
+    def test_void(self):
+        assert roundtrip(TC_VOID, None) is None
+        with pytest.raises(MarshalError):
+            encode_value(TC_VOID, 5)
+
+    @pytest.mark.parametrize(
+        "typecode,value",
+        [
+            (TC_SHORT, 2**15),
+            (TC_USHORT, -1),
+            (TC_LONG, 2**31),
+            (TC_ULONG, -1),
+            (TC_OCTET, 256),
+        ],
+    )
+    def test_range_validation(self, typecode, value):
+        with pytest.raises(MarshalError):
+            encode_value(typecode, value)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(MarshalError):
+            encode_value(TC_LONG, "five")
+
+    def test_numpy_scalars_accepted(self):
+        assert roundtrip(TC_LONG, np.int32(-7)) == -7
+        assert roundtrip(TC_DOUBLE, np.float64(2.5)) == 2.5
+
+
+class TestStrings:
+    def test_roundtrip(self):
+        assert roundtrip(TC_STRING, "hello world") == "hello world"
+
+    def test_empty_string(self):
+        assert roundtrip(TC_STRING, "") == ""
+
+    def test_unicode(self):
+        assert roundtrip(TC_STRING, "café ∞") == "café ∞"
+
+    def test_bounded_string_enforced(self):
+        bounded = StringTC(bound=4)
+        assert roundtrip(bounded, "abcd") == "abcd"
+        with pytest.raises(MarshalError):
+            encode_value(bounded, "abcde")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MarshalError):
+            encode_value(TC_STRING, 42)
+
+
+class TestAlignment:
+    def test_primitives_are_naturally_aligned(self):
+        enc = CdrEncoder()
+        enc.write(TC_OCTET, 1)  # offset 1 (after flag)
+        enc.write(TC_DOUBLE, 2.0)  # must align to 8
+        data = enc.getvalue()
+        assert len(data) == 16
+        dec = CdrDecoder(data)
+        assert dec.read(TC_OCTET) == 1
+        assert dec.read(TC_DOUBLE) == 2.0
+
+    def test_mixed_stream(self):
+        enc = CdrEncoder()
+        parts = [
+            (TC_BOOLEAN, True),
+            (TC_SHORT, -3),
+            (TC_OCTET, 9),
+            (TC_LONG, 100000),
+            (TC_STRING, "mid"),
+            (TC_DOUBLE, -0.25),
+        ]
+        for typecode, value in parts:
+            enc.write(typecode, value)
+        dec = CdrDecoder(enc.getvalue())
+        for typecode, value in parts:
+            assert dec.read(typecode) == value
+        assert dec.at_end()
+
+
+class TestEndianness:
+    def test_big_endian_stream_decodes(self):
+        enc = CdrEncoder(little_endian=False)
+        enc.write(TC_LONG, 0x01020304)
+        enc.write(TC_DOUBLE, 1.5)
+        enc.write(TC_STRING, "be")
+        dec = CdrDecoder(enc.getvalue())
+        assert not dec.little_endian
+        assert dec.read(TC_LONG) == 0x01020304
+        assert dec.read(TC_DOUBLE) == 1.5
+        assert dec.read(TC_STRING) == "be"
+
+    def test_big_endian_numeric_sequence(self):
+        seq_tc = SequenceTC(TC_DOUBLE)
+        enc = CdrEncoder(little_endian=False)
+        enc.write(seq_tc, np.arange(5.0))
+        result = CdrDecoder(enc.getvalue()).read(seq_tc)
+        np.testing.assert_array_equal(result, np.arange(5.0))
+
+    def test_flag_octet_leads_stream(self):
+        assert CdrEncoder(little_endian=True).getvalue() == b"\x01"
+        assert CdrEncoder(little_endian=False).getvalue() == b"\x00"
+
+
+class TestConstructedTypes:
+    def test_enum(self):
+        color = EnumTC("Color", ("RED", "GREEN", "BLUE"))
+        assert roundtrip(color, "GREEN") == "GREEN"
+        assert roundtrip(color, 2) == "BLUE"
+        with pytest.raises(MarshalError):
+            encode_value(color, "PURPLE")
+        with pytest.raises(MarshalError):
+            encode_value(color, 3)
+
+    def test_enum_duplicate_members_rejected(self):
+        with pytest.raises(MarshalError):
+            EnumTC("Bad", ("A", "A"))
+
+    def test_struct(self):
+        point = StructTC("Point", (("x", TC_DOUBLE), ("y", TC_DOUBLE)))
+        assert roundtrip(point, {"x": 1.0, "y": -2.0}) == {
+            "x": 1.0,
+            "y": -2.0,
+        }
+
+    def test_struct_validation(self):
+        point = StructTC("Point", (("x", TC_DOUBLE),))
+        with pytest.raises(MarshalError):
+            encode_value(point, {"y": 1.0})
+        with pytest.raises(MarshalError):
+            encode_value(point, {"x": 1.0, "z": 2.0})
+        with pytest.raises(MarshalError):
+            encode_value(point, [1.0])
+
+    def test_nested_struct(self):
+        inner = StructTC("Inner", (("n", TC_LONG),))
+        outer = StructTC(
+            "Outer", (("name", TC_STRING), ("inner", inner))
+        )
+        value = {"name": "deep", "inner": {"n": 12}}
+        assert roundtrip(outer, value) == value
+
+    def test_sequence_of_double_fast_path(self):
+        seq_tc = SequenceTC(TC_DOUBLE)
+        data = np.linspace(0, 1, 100)
+        np.testing.assert_array_equal(roundtrip(seq_tc, data), data)
+
+    def test_sequence_of_struct(self):
+        point = StructTC("Point", (("x", TC_DOUBLE),))
+        seq_tc = SequenceTC(point)
+        value = [{"x": 1.0}, {"x": 2.0}]
+        assert roundtrip(seq_tc, value) == value
+
+    def test_bounded_sequence(self):
+        seq_tc = SequenceTC(TC_LONG, bound=3)
+        with pytest.raises(MarshalError):
+            encode_value(seq_tc, [1, 2, 3, 4])
+
+    def test_empty_sequence(self):
+        seq_tc = SequenceTC(TC_DOUBLE)
+        assert len(roundtrip(seq_tc, np.zeros(0))) == 0
+
+    def test_array_fixed_length(self):
+        arr_tc = ArrayTC(TC_LONG, 4)
+        result = roundtrip(arr_tc, [1, 2, 3, 4])
+        np.testing.assert_array_equal(result, [1, 2, 3, 4])
+        with pytest.raises(MarshalError):
+            encode_value(arr_tc, [1, 2])
+
+    def test_sequence_of_boolean(self):
+        seq_tc = SequenceTC(TC_BOOLEAN)
+        result = roundtrip(seq_tc, [True, False, True])
+        np.testing.assert_array_equal(result, [True, False, True])
+
+    def test_objref_as_ior_string(self):
+        ref_tc = ObjRefTC("diff_object")
+        assert roundtrip(ref_tc, "IOR:example:0") == "IOR:example:0"
+
+    def test_exception_roundtrip(self):
+        exc_tc = ExceptionTC(
+            "BadStep", "IDL:BadStep:1.0", (("step", TC_LONG),)
+        )
+        assert roundtrip(exc_tc, {"step": 7}) == {"step": 7}
+
+    def test_exception_id_mismatch(self):
+        good = ExceptionTC("A", "IDL:A:1.0", ())
+        bad = ExceptionTC("B", "IDL:B:1.0", ())
+        data = encode_value(good, {})
+        with pytest.raises(MarshalError):
+            decode_value(bad, data)
+
+
+class TestDSequence:
+    def test_requires_numeric_element(self):
+        with pytest.raises(MarshalError):
+            DSequenceTC(TC_STRING)
+
+    def test_materialized_roundtrip(self):
+        ds_tc = DSequenceTC(TC_DOUBLE, bound=1024)
+        data = np.arange(100, dtype=np.float64)
+        np.testing.assert_array_equal(roundtrip(ds_tc, data), data)
+
+    def test_bound_enforced_both_ways(self):
+        ds_tc = DSequenceTC(TC_DOUBLE, bound=4)
+        with pytest.raises(MarshalError):
+            encode_value(ds_tc, np.zeros(5))
+        loose = DSequenceTC(TC_DOUBLE)
+        data = encode_value(loose, np.zeros(5))
+        with pytest.raises(MarshalError):
+            decode_value(ds_tc, data)
+
+    def test_distributed_value_must_be_gathered_first(self):
+        from repro.dist import DistributedSequence
+        from repro.rts import spmd_run
+
+        ds_tc = DSequenceTC(TC_DOUBLE)
+
+        def body(ctx):
+            seq = DistributedSequence(8, comm=ctx.comm)
+            with pytest.raises(MarshalError):
+                encode_value(ds_tc, seq)
+            return True
+
+        assert all(spmd_run(2, body))
+
+    def test_serial_sequence_encodes_inline(self):
+        from repro.dist import DistributedSequence
+
+        ds_tc = DSequenceTC(TC_DOUBLE)
+        seq = DistributedSequence.from_global(np.arange(6, dtype=np.float64))
+        np.testing.assert_array_equal(
+            roundtrip(ds_tc, seq), np.arange(6.0)
+        )
+
+
+class TestErrorPaths:
+    def test_truncated_stream(self):
+        data = encode_value(TC_DOUBLE, 1.0)[:-2]
+        with pytest.raises(MarshalError):
+            decode_value(TC_DOUBLE, data)
+
+    def test_empty_stream(self):
+        with pytest.raises(MarshalError):
+            CdrDecoder(b"")
+
+    def test_zero_length_string_prefix(self):
+        enc = CdrEncoder()
+        enc.write_ulong(0)
+        with pytest.raises(MarshalError):
+            CdrDecoder(enc.getvalue()).read_string()
+
+
+class TestProperties:
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_long_roundtrip(self, value):
+        assert roundtrip(TC_LONG, value) == value
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=True, width=64)
+    )
+    def test_double_roundtrip(self, value):
+        assert roundtrip(TC_DOUBLE, value) == value
+
+    @given(st.text(max_size=200))
+    def test_string_roundtrip(self, value):
+        assert roundtrip(TC_STRING, value) == value
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            max_size=50,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_double_sequence_roundtrip_any_endianness(self, values, little):
+        seq_tc = SequenceTC(TC_DOUBLE)
+        enc = CdrEncoder(little_endian=little)
+        enc.write(seq_tc, np.asarray(values, dtype=np.float64))
+        result = CdrDecoder(enc.getvalue()).read(seq_tc)
+        np.testing.assert_array_equal(
+            result, np.asarray(values, dtype=np.float64)
+        )
+
+    @given(
+        st.lists(st.integers(0, 2**16 - 1), max_size=30),
+        st.lists(st.text(max_size=10), max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_heterogeneous_struct_roundtrip(self, numbers, words):
+        record = StructTC(
+            "Record",
+            (
+                ("numbers", SequenceTC(TC_USHORT)),
+                ("words", SequenceTC(TC_STRING)),
+            ),
+        )
+        value = {"numbers": numbers, "words": words}
+        result = roundtrip(record, value)
+        assert list(result["numbers"]) == numbers
+        assert result["words"] == words
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_decoder_never_crashes_unsafely(self, junk):
+        """Arbitrary bytes must raise MarshalError or decode — never
+        escape with an unrelated exception type."""
+        record = StructTC(
+            "R",
+            (("s", TC_STRING), ("xs", SequenceTC(TC_DOUBLE))),
+        )
+        try:
+            decode_value(record, junk)
+        except MarshalError:
+            pass
+        except (UnicodeDecodeError, MemoryError):
+            # Tolerated: bogus length prefixes can request huge reads
+            # (caught as MarshalError) or invalid UTF-8.
+            pass

@@ -1,0 +1,278 @@
+"""Tests for DistributedSequence — serial and SPMD behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import (
+    BlockTemplate,
+    DistributedSequence,
+    ExplicitTemplate,
+    Proportions,
+)
+from repro.dist.template import DistributionError
+from repro.rts import spmd_run
+
+
+class TestSerialSequence:
+    def test_default_blockwise_single_rank(self):
+        seq = DistributedSequence(10)
+        assert seq.length() == 10
+        assert seq.local_length() == 10
+        np.testing.assert_array_equal(seq.local_data(), np.zeros(10))
+
+    def test_len_dunder(self):
+        assert len(DistributedSequence(7)) == 7
+
+    def test_dtype(self):
+        seq = DistributedSequence(4, dtype=np.int32)
+        assert seq.dtype == np.int32
+
+    def test_element_access(self):
+        seq = DistributedSequence(5)
+        seq[2] = 3.5
+        assert seq[2] == 3.5
+        assert seq[-3] == 3.5
+
+    def test_access_beyond_length_is_error(self):
+        seq = DistributedSequence(5)
+        with pytest.raises(IndexError):
+            seq[5]
+        with pytest.raises(IndexError):
+            seq[5] = 1.0
+
+    def test_bound_enforced_at_construction(self):
+        with pytest.raises(DistributionError):
+            DistributedSequence(2000, bound=1024)
+
+    def test_bound_enforced_on_growth(self):
+        seq = DistributedSequence(1000, bound=1024)
+        seq.set_length(1024)
+        with pytest.raises(DistributionError):
+            seq.set_length(1025)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DistributionError):
+            DistributedSequence(-1)
+
+    def test_shrink_then_grow_zero_fills(self):
+        seq = DistributedSequence(4)
+        seq.local_data()[:] = [1, 2, 3, 4]
+        seq.set_length(2)
+        np.testing.assert_array_equal(seq.local_data(), [1, 2])
+        seq.set_length(4)
+        np.testing.assert_array_equal(seq.local_data(), [1, 2, 0, 0])
+
+    def test_adopt_copy_semantics(self):
+        data = np.arange(6, dtype=np.float64)
+        seq = DistributedSequence.adopt(data, release=False)
+        data[0] = 99
+        assert seq[0] == 0.0
+
+    def test_adopt_release_aliases(self):
+        data = np.arange(6, dtype=np.float64)
+        seq = DistributedSequence.adopt(data, release=True)
+        data[0] = 99
+        assert seq[0] == 99.0
+
+    def test_adopt_rejects_2d(self):
+        with pytest.raises(DistributionError):
+            DistributedSequence.adopt(np.zeros((2, 3)))
+
+    def test_from_global(self):
+        seq = DistributedSequence.from_global(np.arange(8))
+        np.testing.assert_array_equal(seq.allgather(), np.arange(8))
+
+    def test_copy_is_deep(self):
+        seq = DistributedSequence.from_global(np.arange(4))
+        dup = seq.copy()
+        dup.local_data()[:] = 0
+        np.testing.assert_array_equal(seq.local_data(), np.arange(4))
+
+    def test_frozen_rejects_redistribute(self):
+        seq = DistributedSequence(8, frozen=True)
+        with pytest.raises(DistributionError):
+            seq.redistribute(BlockTemplate())
+
+
+def spmd_sequence(n, body, **kw):
+    return spmd_run(n, body, **kw)
+
+
+class TestSpmdSequence:
+    def test_blockwise_partition(self):
+        def body(ctx):
+            seq = DistributedSequence(10, comm=ctx.comm)
+            return seq.local_length()
+
+        assert spmd_sequence(4, body) == [3, 3, 2, 2]
+
+    def test_proportions_partition(self):
+        def body(ctx):
+            seq = DistributedSequence(
+                12, template=Proportions(2, 4, 2, 4), comm=ctx.comm
+            )
+            return seq.local_length()
+
+        assert spmd_sequence(4, body) == [2, 4, 2, 4]
+
+    def test_from_global_distributes(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(10), comm=ctx.comm
+            )
+            lo, hi = seq.local_range()
+            np.testing.assert_array_equal(seq.local_data(), np.arange(lo, hi))
+            return True
+
+        assert all(spmd_sequence(3, body))
+
+    def test_collective_getitem_broadcasts_from_owner(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(10) * 10, comm=ctx.comm
+            )
+            return seq[7]
+
+        assert spmd_sequence(4, body) == [70, 70, 70, 70]
+
+    def test_collective_setitem(self):
+        def body(ctx):
+            seq = DistributedSequence(10, comm=ctx.comm)
+            seq[9] = 5.5
+            return seq[9]
+
+        assert spmd_sequence(3, body) == [5.5, 5.5, 5.5]
+
+    def test_adopt_builds_layout_by_allgather(self):
+        def body(ctx):
+            local = np.full(ctx.rank + 1, float(ctx.rank))
+            seq = DistributedSequence.adopt(local, comm=ctx.comm)
+            assert seq.length() == 1 + 2 + 3
+            return seq.allgather().tolist()
+
+        expected = [0.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        assert spmd_sequence(3, body) == [expected] * 3
+
+    def test_adopt_rejects_mismatched_local_buffer(self):
+        def body(ctx):
+            DistributedSequence(
+                10,
+                comm=ctx.comm,
+                _layout=BlockTemplate(2).layout(10),
+                _local=np.zeros(1),
+            )
+
+        with pytest.raises(Exception):
+            spmd_sequence(2, body)
+
+    def test_redistribute_block_to_proportions(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(12, dtype=np.float64), comm=ctx.comm
+            )
+            seq.redistribute(Proportions(2, 4, 2, 4))
+            lo, hi = seq.local_range()
+            np.testing.assert_array_equal(
+                seq.local_data(), np.arange(lo, hi, dtype=np.float64)
+            )
+            return seq.local_length()
+
+        assert spmd_sequence(4, body) == [2, 4, 2, 4]
+
+    def test_redistribute_roundtrip_preserves_data(self):
+        def body(ctx):
+            data = np.arange(37, dtype=np.float64) ** 2
+            seq = DistributedSequence.from_global(data, comm=ctx.comm)
+            seq.redistribute(Proportions(5, 1, 1, 3))
+            seq.redistribute(BlockTemplate())
+            np.testing.assert_array_equal(seq.allgather(), data)
+            return True
+
+        assert all(spmd_sequence(4, body))
+
+    def test_redistribute_noop_same_layout(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(8), comm=ctx.comm
+            )
+            before = seq.local_data()
+            seq.redistribute(BlockTemplate())
+            return seq.local_data() is before
+
+        assert all(spmd_sequence(2, body))
+
+    def test_grow_assigns_to_last_owner(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(8, dtype=np.float64), comm=ctx.comm
+            )
+            seq.set_length(12)
+            return seq.local_length()
+
+        assert spmd_sequence(4, body) == [2, 2, 2, 6]
+
+    def test_shrink_discards_above(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(8, dtype=np.float64), comm=ctx.comm
+            )
+            seq.set_length(3)
+            return seq.allgather().tolist()
+
+        assert spmd_sequence(4, body) == [[0.0, 1.0, 2.0]] * 4
+
+    def test_explicit_template(self):
+        def body(ctx):
+            seq = DistributedSequence(
+                10, template=ExplicitTemplate([0, 10]), comm=ctx.comm
+            )
+            return seq.local_length()
+
+        assert spmd_sequence(2, body) == [0, 10]
+
+
+class TestSequenceProperties:
+    @given(
+        length=st.integers(0, 120),
+        nranks=st.integers(1, 6),
+        weights=st.lists(st.integers(0, 9), min_size=1, max_size=6).filter(
+            lambda w: any(w)
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_redistribute_preserves_content(self, length, nranks, weights):
+        weights = (weights * nranks)[:nranks]
+        if not any(weights):
+            weights[0] = 1
+
+        def body(ctx):
+            data = np.arange(length, dtype=np.float64)
+            seq = DistributedSequence.from_global(data, comm=ctx.comm)
+            seq.redistribute(Proportions(*weights))
+            np.testing.assert_array_equal(seq.allgather(), data)
+            return True
+
+        assert all(spmd_run(nranks, body))
+
+    @given(
+        length=st.integers(0, 60),
+        new_length=st.integers(0, 60),
+        nranks=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_resize_preserves_prefix(self, length, new_length, nranks):
+        def body(ctx):
+            data = np.arange(length, dtype=np.float64)
+            seq = DistributedSequence.from_global(data, comm=ctx.comm)
+            seq.set_length(new_length)
+            result = seq.allgather()
+            keep = min(length, new_length)
+            np.testing.assert_array_equal(result[:keep], data[:keep])
+            np.testing.assert_array_equal(
+                result[keep:], np.zeros(max(0, new_length - keep))
+            )
+            return True
+
+        assert all(spmd_run(nranks, body))

@@ -1,0 +1,84 @@
+"""Collective slice reads on distributed sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import DistributedSequence, Proportions
+from repro.rts import spmd_run
+
+
+class TestSerialSlices:
+    def test_basic_slice(self):
+        seq = DistributedSequence.from_global(np.arange(10.0))
+        np.testing.assert_array_equal(seq[2:5], [2.0, 3.0, 4.0])
+
+    def test_open_ended(self):
+        seq = DistributedSequence.from_global(np.arange(6.0))
+        np.testing.assert_array_equal(seq[:3], [0, 1, 2])
+        np.testing.assert_array_equal(seq[3:], [3, 4, 5])
+        np.testing.assert_array_equal(seq[:], np.arange(6.0))
+
+    def test_negative_indices(self):
+        seq = DistributedSequence.from_global(np.arange(8.0))
+        np.testing.assert_array_equal(seq[-3:-1], [5.0, 6.0])
+
+    def test_clamping(self):
+        seq = DistributedSequence.from_global(np.arange(4.0))
+        np.testing.assert_array_equal(seq[2:99], [2.0, 3.0])
+        assert len(seq[5:9]) == 0
+        assert len(seq[3:1]) == 0
+
+    def test_strided_slice_rejected(self):
+        seq = DistributedSequence.from_global(np.arange(4.0))
+        with pytest.raises(IndexError, match="unit-stride"):
+            seq[::2]
+
+    def test_slice_is_a_copy(self):
+        seq = DistributedSequence.from_global(np.arange(4.0))
+        view = seq[0:2]
+        view[:] = -1
+        assert seq[0] == 0.0
+
+
+class TestSpmdSlices:
+    def test_slice_spanning_blocks(self):
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(12.0), comm=ctx.comm
+            )
+            return seq[2:9]
+
+        for result in spmd_run(4, body):
+            np.testing.assert_array_equal(
+                result, np.arange(2.0, 9.0)
+            )
+
+    @given(
+        length=st.integers(0, 80),
+        nranks=st.integers(1, 5),
+        start=st.integers(-90, 90),
+        stop=st.integers(-90, 90),
+        weights=st.lists(st.integers(0, 5), min_size=1, max_size=5).filter(
+            lambda w: any(w)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numpy_semantics(
+        self, length, nranks, start, stop, weights
+    ):
+        weights = (weights * nranks)[:nranks]
+        if not any(weights):
+            weights[0] = 1
+        data = np.arange(length, dtype=np.float64)
+
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                data, comm=ctx.comm, template=Proportions(*weights)
+            )
+            return seq[start:stop]
+
+        expected = data[slice(start, stop)]
+        for result in spmd_run(nranks, body):
+            np.testing.assert_array_equal(result, expected)

@@ -1,0 +1,179 @@
+"""Unit tests for distribution templates and layouts."""
+
+import pytest
+
+from repro.dist import BlockTemplate, ExplicitTemplate, Layout, Proportions
+from repro.dist.template import DistributionError
+
+
+class TestLayout:
+    def test_bounds_must_tile(self):
+        with pytest.raises(DistributionError):
+            Layout(((0, 4), (5, 8)))
+
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(DistributionError):
+            Layout(((0, 4), (4, 2)))
+
+    def test_empty_layout(self):
+        layout = Layout(())
+        assert layout.length == 0
+        assert layout.nranks == 0
+
+    def test_length_and_local_lengths(self):
+        layout = Layout(((0, 3), (3, 3), (3, 10)))
+        assert layout.length == 10
+        assert layout.local_lengths() == (3, 0, 7)
+        assert layout.local_range(2) == (3, 10)
+
+    def test_owner_of_skips_empty_ranges(self):
+        layout = Layout(((0, 3), (3, 3), (3, 10)))
+        assert layout.owner_of(0) == 0
+        assert layout.owner_of(2) == 0
+        assert layout.owner_of(3) == 2
+        assert layout.owner_of(9) == 2
+
+    def test_owner_of_out_of_range(self):
+        layout = Layout(((0, 5),))
+        with pytest.raises(IndexError):
+            layout.owner_of(5)
+        with pytest.raises(IndexError):
+            layout.owner_of(-1)
+
+    def test_from_local_lengths(self):
+        layout = Layout.from_local_lengths([2, 0, 5])
+        assert layout.bounds == ((0, 2), (2, 2), (2, 7))
+
+    def test_from_local_lengths_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            Layout.from_local_lengths([2, -1])
+
+
+class TestResize:
+    def test_shrink_discards_top(self):
+        layout = Layout(((0, 4), (4, 8), (8, 12)))
+        shrunk = layout.resized(6)
+        assert shrunk.bounds == ((0, 4), (4, 6), (6, 6))
+
+    def test_shrink_to_zero(self):
+        layout = Layout(((0, 4), (4, 8)))
+        assert layout.resized(0).local_lengths() == (0, 0)
+
+    def test_grow_extends_last_owner(self):
+        layout = Layout(((0, 4), (4, 8), (8, 12)))
+        grown = layout.resized(20)
+        assert grown.bounds == ((0, 4), (4, 8), (8, 20))
+
+    def test_grow_skips_trailing_empty_ranks(self):
+        # Rank 1 owned the last elements; rank 2 is empty and stays so.
+        layout = Layout(((0, 4), (4, 8), (8, 8)))
+        grown = layout.resized(10)
+        assert grown.bounds == ((0, 4), (4, 10), (10, 10))
+
+    def test_grow_empty_sequence_goes_to_last_rank(self):
+        layout = Layout(((0, 0), (0, 0)))
+        grown = layout.resized(5)
+        assert grown.bounds == ((0, 0), (0, 5))
+
+    def test_resize_noop(self):
+        layout = Layout(((0, 4), (4, 8)))
+        assert layout.resized(8) is layout
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DistributionError):
+            Layout(((0, 4),)).resized(-1)
+
+
+class TestBlockTemplate:
+    def test_even_split(self):
+        layout = BlockTemplate(4).layout(8)
+        assert layout.local_lengths() == (2, 2, 2, 2)
+
+    def test_remainder_goes_to_low_ranks(self):
+        layout = BlockTemplate(4).layout(10)
+        assert layout.local_lengths() == (3, 3, 2, 2)
+
+    def test_more_ranks_than_elements(self):
+        layout = BlockTemplate(4).layout(2)
+        assert layout.local_lengths() == (1, 1, 0, 0)
+
+    def test_zero_length(self):
+        layout = BlockTemplate(3).layout(0)
+        assert layout.local_lengths() == (0, 0, 0)
+
+    def test_unbound_template_needs_nranks(self):
+        template = BlockTemplate()
+        with pytest.raises(DistributionError):
+            template.layout(10)
+        assert template.layout(10, nranks=2).local_lengths() == (5, 5)
+
+    def test_bound_template_rejects_other_nranks(self):
+        with pytest.raises(DistributionError):
+            BlockTemplate(4).layout(10, nranks=3)
+
+    def test_rejects_nonpositive_ranks(self):
+        with pytest.raises(DistributionError):
+            BlockTemplate(0)
+        with pytest.raises(DistributionError):
+            BlockTemplate().layout(10, nranks=0)
+
+    def test_equality_and_hash(self):
+        assert BlockTemplate(4) == BlockTemplate(4)
+        assert BlockTemplate(4) != BlockTemplate(2)
+        assert hash(BlockTemplate(4)) == hash(BlockTemplate(4))
+
+
+class TestProportions:
+    def test_paper_example(self):
+        # Proportions(2,4,2,4) over 12 elements: 2:4:2:4.
+        layout = Proportions(2, 4, 2, 4).layout(12)
+        assert layout.local_lengths() == (2, 4, 2, 4)
+
+    def test_scales_with_length(self):
+        layout = Proportions(2, 4, 2, 4).layout(24)
+        assert layout.local_lengths() == (4, 8, 4, 8)
+
+    def test_sum_is_exact_under_rounding(self):
+        layout = Proportions(1, 1, 1).layout(10)
+        assert sum(layout.local_lengths()) == 10
+        assert layout.local_lengths() == (4, 3, 3)
+
+    def test_zero_weight_gets_nothing(self):
+        layout = Proportions(1, 0, 1).layout(9)
+        assert layout.local_lengths()[1] == 0
+        assert sum(layout.local_lengths()) == 9
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(DistributionError):
+            Proportions()
+        with pytest.raises(DistributionError):
+            Proportions(-1, 2)
+        with pytest.raises(DistributionError):
+            Proportions(0, 0)
+        with pytest.raises(DistributionError):
+            Proportions(float("inf"), 1)
+
+    def test_nranks_fixed_by_weights(self):
+        template = Proportions(1, 2)
+        assert template.nranks == 2
+        with pytest.raises(DistributionError):
+            template.layout(10, nranks=3)
+
+    def test_equality(self):
+        assert Proportions(1, 2) == Proportions(1, 2)
+        assert Proportions(1, 2) != Proportions(2, 1)
+
+
+class TestExplicitTemplate:
+    def test_exact_lengths(self):
+        template = ExplicitTemplate([3, 0, 7])
+        layout = template.layout(10)
+        assert layout.local_lengths() == (3, 0, 7)
+
+    def test_rejects_other_lengths(self):
+        with pytest.raises(DistributionError):
+            ExplicitTemplate([3, 7]).layout(11)
+
+    def test_equality(self):
+        assert ExplicitTemplate([1, 2]) == ExplicitTemplate([1, 2])
+        assert ExplicitTemplate([1, 2]) != ExplicitTemplate([2, 1])

@@ -1,0 +1,30 @@
+"""Every example script must run clean — they are part of the API
+contract (each asserts its own correctness before printing OK)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "OK" in result.stdout or "note:" in result.stdout

@@ -1,0 +1,113 @@
+"""Multi-file IDL compilation: #include expansion."""
+
+import pytest
+
+from repro.idl import preprocess_includes
+from repro.idl.compiler import compile_idl_file
+from repro.idl.errors import IdlError
+
+
+@pytest.fixture()
+def idl_tree(tmp_path):
+    (tmp_path / "types.idl").write_text(
+        "typedef dsequence<double> darray;\n", encoding="utf-8"
+    )
+    (tmp_path / "errors.idl").write_text(
+        'exception failed { string why; };\n', encoding="utf-8"
+    )
+    (tmp_path / "service.idl").write_text(
+        '#include "types.idl"\n'
+        '#include "errors.idl"\n'
+        "interface service {\n"
+        "    void run(inout darray data) raises (failed);\n"
+        "};\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+class TestIncludes:
+    def test_compile_file_with_includes(self, idl_tree):
+        compiled = compile_idl_file(str(idl_tree / "service.idl"))
+        assert hasattr(compiled.module, "service")
+        assert hasattr(compiled.module, "darray")
+        assert compiled.module.__name__ == "service"
+
+    def test_each_file_included_once(self, idl_tree):
+        # Both b.idl and c.idl include types.idl: diamond includes
+        # must not redeclare 'darray'.
+        (idl_tree / "b.idl").write_text(
+            '#include "types.idl"\ntypedef darray alias_b;\n',
+            encoding="utf-8",
+        )
+        (idl_tree / "c.idl").write_text(
+            '#include "types.idl"\ntypedef darray alias_c;\n',
+            encoding="utf-8",
+        )
+        (idl_tree / "main.idl").write_text(
+            '#include "b.idl"\n#include "c.idl"\n'
+            "interface i { void f(in alias_b x, in alias_c y); };\n",
+            encoding="utf-8",
+        )
+        compiled = compile_idl_file(str(idl_tree / "main.idl"))
+        assert hasattr(compiled.module, "i")
+
+    def test_cycle_detected(self, idl_tree):
+        (idl_tree / "x.idl").write_text(
+            '#include "y.idl"\ntypedef long tx;\n', encoding="utf-8"
+        )
+        (idl_tree / "y.idl").write_text(
+            '#include "x.idl"\ntypedef long ty;\n', encoding="utf-8"
+        )
+        with pytest.raises(IdlError, match="circular"):
+            compile_idl_file(str(idl_tree / "x.idl"))
+
+    def test_missing_include(self, idl_tree):
+        (idl_tree / "broken.idl").write_text(
+            '#include "ghost.idl"\ninterface i {};\n', encoding="utf-8"
+        )
+        with pytest.raises(IdlError, match="not found"):
+            compile_idl_file(str(idl_tree / "broken.idl"))
+
+    def test_include_search_path_order(self, idl_tree, tmp_path):
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "shared.idl").write_text(
+            "const long WHERE = 2;\n", encoding="utf-8"
+        )
+        (idl_tree / "shared.idl").write_text(
+            "const long WHERE = 1;\n", encoding="utf-8"
+        )
+        (idl_tree / "uses.idl").write_text(
+            '#include "shared.idl"\ninterface i {};\n', encoding="utf-8"
+        )
+        # The file's own directory wins.
+        compiled = compile_idl_file(
+            str(idl_tree / "uses.idl"), include_dirs=(str(other),)
+        )
+        assert compiled.module.WHERE == 1
+
+    def test_other_hash_lines_still_skipped(self):
+        text = preprocess_includes("#pragma prefix \"x\"\nconst long A = 1;")
+        assert "#pragma" in text  # left for the lexer to ignore
+
+    def test_cli_include_flag(self, idl_tree, tmp_path):
+        import subprocess
+        import sys
+
+        out = tmp_path / "gen.py"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.idl",
+                str(idl_tree / "service.idl"),
+                "-o",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "class service(_ClientProxy):" in out.read_text()

@@ -1,0 +1,131 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("interface foo") == [
+            ("keyword", "interface"),
+            ("ident", "foo"),
+        ]
+
+    def test_case_sensitive_keywords(self):
+        # 'Interface' is an identifier, not the keyword.
+        assert kinds("Interface")[0][0] == "ident"
+
+    def test_underscored_identifiers(self):
+        assert kinds("_foo __bar a_b2") == [
+            ("ident", "_foo"),
+            ("ident", "__bar"),
+            ("ident", "a_b2"),
+        ]
+
+    def test_punctuation(self):
+        assert [v for _, v in kinds("{ } ( ) ; , < > [ ]")] == [
+            "{", "}", "(", ")", ";", ",", "<", ">", "[", "]",
+        ]
+
+    def test_scope_operator_is_one_token(self):
+        assert kinds("a::b") == [
+            ("ident", "a"),
+            ("punct", "::"),
+            ("ident", "b"),
+        ]
+
+    def test_shift_operators(self):
+        assert [v for _, v in kinds("1 << 2 >> 3")] == [
+            "1", "<<", "2", ">>", "3",
+        ]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("interface @")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("a /* never ends")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds('#include "x.idl"\nfoo') == [("ident", "foo")]
+
+    def test_hash_mid_line_is_an_error(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("foo #bad")
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert kinds("1024") == [("int", "1024")]
+
+    def test_hex(self):
+        assert kinds("0xFF 0x10") == [("int", "0xFF"), ("int", "0x10")]
+
+    def test_malformed_hex(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("0x")
+
+    def test_float_forms(self):
+        assert [k for k, _ in kinds("1.5 .25 2e3 1.5e-2")] == [
+            "float"
+        ] * 4
+
+    def test_malformed_exponent(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("1e+")
+
+
+class TestStringsAndChars:
+    def test_string_literal(self):
+        assert kinds('"hello"') == [("string", "hello")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\nb\t\"q\""') == [("string", 'a\nb\t"q"')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize('"oops')
+
+    def test_unknown_escape(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_char_literal(self):
+        assert kinds("'x'") == [("char", "x")]
+
+    def test_char_escape(self):
+        assert kinds(r"'\n'") == [("char", "\n")]
+
+    def test_multichar_char_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("'ab'")

@@ -1,0 +1,230 @@
+"""Parser unit tests over the AST."""
+
+import pytest
+
+from repro.idl import ast
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.parser import parse
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+class TestInterfaces:
+    def test_paper_example(self):
+        spec = parse(
+            """
+            typedef dsequence<double, 1024> diff_array;
+            interface diff_object {
+                void diffusion(in long timestep, inout diff_array darray);
+            };
+            """
+        )
+        typedef, interface = spec.body
+        assert isinstance(typedef, ast.Typedef)
+        assert isinstance(typedef.type, ast.DSequenceType)
+        assert isinstance(interface, ast.Interface)
+        op = interface.body[0]
+        assert op.name == "diffusion"
+        assert [(p.direction, p.name) for p in op.params] == [
+            ("in", "timestep"),
+            ("inout", "darray"),
+        ]
+
+    def test_empty_interface(self):
+        node = first("interface empty {};")
+        assert node.body == []
+
+    def test_inheritance(self):
+        node = first(
+            "interface c : a, b::x {};"
+        )
+        assert [b.text for b in node.bases] == ["a", "b::x"]
+
+    def test_oneway(self):
+        node = first("interface i { oneway void ping(); };")
+        assert node.body[0].oneway
+
+    def test_raises_clause(self):
+        node = first(
+            "interface i { void f() raises (E1, m::E2); };"
+        )
+        assert [e.text for e in node.body[0].raises] == ["E1", "m::E2"]
+
+    def test_attributes(self):
+        node = first(
+            """
+            interface i {
+                attribute long counter;
+                readonly attribute string name;
+            };
+            """
+        )
+        counter, name = node.body
+        assert not counter.readonly and name.readonly
+        assert isinstance(name.type, ast.StringType)
+
+    def test_return_types(self):
+        node = first(
+            "interface i { double f(); sequence<long> g(); };"
+        )
+        assert node.body[0].return_type == ast.BasicType("double")
+        assert isinstance(node.body[1].return_type, ast.SequenceType)
+
+    def test_param_requires_direction(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("interface i { void f(long x); };")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("interface i {}")
+
+
+class TestTypes:
+    def test_basic_types(self):
+        node = first(
+            """
+            struct s {
+                short a; long b; long long c;
+                unsigned short d; unsigned long e;
+                unsigned long long f;
+                float g; double h; boolean i; char j; octet k;
+            };
+            """
+        )
+        names = [m.type.name for m in node.members]
+        assert names == [
+            "short", "long", "longlong", "ushort", "ulong",
+            "ulonglong", "float", "double", "boolean", "char", "octet",
+        ]
+
+    def test_long_double_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("struct s { long double x; };")
+
+    def test_unsigned_requires_integer(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("struct s { unsigned float x; };")
+
+    def test_bounded_string(self):
+        node = first("typedef string<16> short_name;")
+        assert node.type.bound == ast.Literal(16)
+
+    def test_sequence_forms(self):
+        spec = parse(
+            """
+            typedef sequence<double> a;
+            typedef sequence<long, 8> b;
+            typedef sequence<sequence<long>> c;
+            """
+        )
+        a, b, c = spec.body
+        assert a.type.bound is None
+        assert b.type.bound == ast.Literal(8)
+        assert isinstance(c.type.element, ast.SequenceType)
+
+    def test_dsequence_forms(self):
+        spec = parse(
+            """
+            typedef dsequence<double> a;
+            typedef dsequence<double, 1024> b;
+            typedef dsequence<double, 1024, block> c;
+            typedef dsequence<double, proportions(2, 4, 2, 4)> d;
+            typedef dsequence<double, 512, proportions(1, 3)> e;
+            """
+        )
+        a, b, c, d, e = spec.body
+        assert a.type.bound is None and a.type.dist is None
+        assert b.type.bound == ast.Literal(1024)
+        assert c.type.dist == ast.DistSpec("block")
+        assert d.type.bound is None
+        assert d.type.dist == ast.DistSpec("proportions", (2, 4, 2, 4))
+        assert e.type.bound == ast.Literal(512)
+        assert e.type.dist == ast.DistSpec("proportions", (1, 3))
+
+    def test_array_declarator(self):
+        node = first("typedef long matrix[3][4];")
+        assert node.array_dims == (ast.Literal(3), ast.Literal(4))
+
+    def test_scoped_names(self):
+        node = first("typedef ::top::mid::t alias;")
+        assert node.type.parts == ("", "top", "mid", "t")
+
+
+class TestDeclarations:
+    def test_module_nesting(self):
+        node = first(
+            "module outer { module inner { enum E { A }; }; };"
+        )
+        assert isinstance(node.body[0], ast.Module)
+        assert isinstance(node.body[0].body[0], ast.Enum)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("module m {};")
+
+    def test_struct_multi_declarator(self):
+        node = first("struct p { double x, y, z; };")
+        assert [m.name for m in node.members] == ["x", "y", "z"]
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("struct s {};")
+
+    def test_enum(self):
+        node = first("enum color { RED, GREEN, BLUE };")
+        assert node.members == ("RED", "GREEN", "BLUE")
+
+    def test_exception_may_be_empty(self):
+        node = first("exception oops {};")
+        assert node.members == []
+
+    def test_const(self):
+        node = first("const long SIZE = 2 * 512;")
+        assert isinstance(node.expr, ast.BinaryOp)
+
+    def test_empty_specification_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("   // nothing\n")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("wibble;")
+
+
+class TestConstExpressions:
+    def expr(self, text):
+        return first(f"const long x = {text};").expr
+
+    def test_precedence_shape(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_parentheses(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary(self):
+        node = self.expr("-~+5")
+        assert node.op == "-"
+        assert node.operand.op == "~"
+
+    def test_or_xor_and_levels(self):
+        node = self.expr("1 | 2 ^ 3 & 4")
+        assert node.op == "|"
+        assert node.right.op == "^"
+        assert node.right.right.op == "&"
+
+    def test_const_refs(self):
+        node = self.expr("OTHER + m::N")
+        assert node.left == ast.ConstRef(("OTHER",), node.left.line)
+        assert node.right.parts == ("m", "N")
+
+    def test_literals(self):
+        assert self.expr("TRUE") == ast.Literal(True)
+        assert self.expr("0x10") == ast.Literal(16)
+        assert first('const string s = "hi";').expr == ast.Literal("hi")
+        assert first("const char c = 'z';").expr == ast.Literal("z")

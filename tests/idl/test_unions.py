@@ -1,0 +1,212 @@
+"""Union support across the whole pipeline: parse → analyze → CDR →
+codegen → live invocation."""
+
+import pytest
+
+from repro import ORB, compile_idl
+from repro.cdr import MarshalError, UnionTC, decode_value, encode_value
+from repro.cdr.typecodes import TC_DOUBLE, TC_LONG, TC_STRING
+from repro.idl.compiler import analyze_idl
+from repro.idl.errors import IdlSemanticError, IdlSyntaxError
+from repro.idl.parser import parse
+
+BASIC_UNION = """
+union number_or_text switch (long) {
+    case 1: double number;
+    case 2:
+    case 3: string text;
+    default: boolean flag;
+};
+"""
+
+
+class TestUnionTypeCode:
+    def test_arm_selection(self):
+        tc = UnionTC(
+            "u",
+            TC_LONG,
+            ((1, "a", TC_DOUBLE), (2, "b", TC_STRING)),
+            ("c", TC_LONG),
+        )
+        assert tc.arm_for(1) == ("a", TC_DOUBLE)
+        assert tc.arm_for(2) == ("b", TC_STRING)
+        assert tc.arm_for(99) == ("c", TC_LONG)
+
+    def test_no_default_no_match(self):
+        tc = UnionTC("u", TC_LONG, ((1, "a", TC_DOUBLE),), None)
+        with pytest.raises(MarshalError, match="no default"):
+            tc.arm_for(5)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(MarshalError, match="duplicate"):
+            UnionTC(
+                "u", TC_LONG,
+                ((1, "a", TC_DOUBLE), (1, "b", TC_STRING)), None,
+            )
+
+    def test_bad_discriminator_kind(self):
+        with pytest.raises(MarshalError, match="discriminate"):
+            UnionTC("u", TC_DOUBLE, ((1.0, "a", TC_LONG),), None)
+
+    def test_value_shape_validated(self):
+        tc = UnionTC("u", TC_LONG, ((1, "a", TC_DOUBLE),), None)
+        with pytest.raises(MarshalError, match="expects"):
+            tc.validate(3.0)
+        with pytest.raises(MarshalError, match="expects"):
+            tc.validate({"d": 1})
+
+    def test_cdr_roundtrip_each_arm(self):
+        tc = UnionTC(
+            "u",
+            TC_LONG,
+            ((1, "a", TC_DOUBLE), (2, "b", TC_STRING)),
+            ("c", TC_LONG),
+        )
+        for value in (
+            {"d": 1, "v": 2.5},
+            {"d": 2, "v": "text"},
+            {"d": 42, "v": 7},
+        ):
+            assert decode_value(tc, encode_value(tc, value)) == value
+
+
+class TestUnionParsing:
+    def test_multi_label_case(self):
+        decl = parse(BASIC_UNION).body[0]
+        assert decl.name == "number_or_text"
+        assert len(decl.cases) == 3
+        assert len(decl.cases[1].labels) == 2
+        assert decl.cases[2].is_default
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(IdlSyntaxError, match="no cases"):
+            parse("union u switch (long) {};")
+
+    def test_member_needs_labels(self):
+        with pytest.raises(IdlSyntaxError, match="case"):
+            parse("union u switch (long) { double x; };")
+
+
+class TestUnionSemantics:
+    def test_labels_evaluated_and_typed(self):
+        unit = analyze_idl(
+            "const long TWO = 2;"
+            "union u switch (long) { case TWO: double x; };"
+        )
+        tc = unit.find("u").typecode
+        assert tc.cases[0][0] == 2
+
+    def test_enum_discriminator(self):
+        unit = analyze_idl(
+            "enum color { RED, GREEN };"
+            "union u switch (color) { case RED: long x; };"
+        )
+        tc = unit.find("u").typecode
+        assert tc.discriminator.kind == "enum"
+        assert tc.cases[0][0] == "RED"
+
+    def test_label_type_mismatch(self):
+        with pytest.raises(IdlSemanticError, match="discriminator"):
+            analyze_idl(
+                'union u switch (long) { case "nope": double x; };'
+            )
+
+    def test_duplicate_member_names(self):
+        with pytest.raises(IdlSemanticError, match="twice"):
+            analyze_idl(
+                "union u switch (long) "
+                "{ case 1: double x; case 2: long x; };"
+            )
+
+    def test_duplicate_labels(self):
+        with pytest.raises(IdlSemanticError, match="twice"):
+            analyze_idl(
+                "union u switch (long) "
+                "{ case 1: double x; case 1: long y; };"
+            )
+
+    def test_two_defaults_rejected(self):
+        with pytest.raises(IdlSemanticError, match="two default"):
+            analyze_idl(
+                "union u switch (long) "
+                "{ default: double x; default: long y; };"
+            )
+
+    def test_dsequence_member_rejected(self):
+        with pytest.raises(IdlSemanticError, match="union members"):
+            analyze_idl(
+                "typedef dsequence<double> d;"
+                "union u switch (long) { case 1: d x; };"
+            )
+
+    def test_float_discriminator_rejected(self):
+        with pytest.raises(IdlSemanticError, match="discriminate"):
+            analyze_idl(
+                "union u switch (double) { case 1: long x; };"
+            )
+
+    def test_union_usable_as_member_type(self):
+        unit = analyze_idl(
+            BASIC_UNION + "struct holder { number_or_text item; };"
+        )
+        struct_tc = unit.find("holder").typecode
+        assert struct_tc.fields[0][1].kind == "union"
+
+
+class TestGeneratedUnion:
+    def test_factory_and_helpers(self):
+        m = compile_idl(BASIC_UNION)
+        value = m.number_or_text(1, 2.5)
+        assert value == {"d": 1, "v": 2.5}
+        assert m.number_or_text.member_of(value) == "number"
+        assert m.number_or_text.member_of(m.number_or_text(3, "x")) == "text"
+        assert m.number_or_text.member_of(m.number_or_text(9, True)) == "flag"
+
+    def test_make_asserts_member(self):
+        m = compile_idl(BASIC_UNION)
+        assert m.number_or_text.make("number", 1, 5.0)["v"] == 5.0
+        with pytest.raises(ValueError, match="selects"):
+            m.number_or_text.make("text", 1, 5.0)
+
+    def test_invalid_construction(self):
+        m = compile_idl(BASIC_UNION)
+        bounded = compile_idl(
+            "union u switch (long) { case 1: double x; };"
+        )
+        with pytest.raises(MarshalError):
+            bounded.u(2, 1.0)  # no case, no default
+
+    def test_live_invocation_roundtrip(self):
+        m = compile_idl(
+            """
+            enum kind { NUMBER, TEXT };
+            union payload switch (kind) {
+                case NUMBER: double number;
+                case TEXT:   string text;
+            };
+            interface carrier {
+                payload swap(in payload value);
+            };
+            """
+        )
+
+        class Impl(m.carrier_skel):
+            def swap(self, value):
+                if value["d"] == "NUMBER":
+                    return m.payload("TEXT", str(value["v"]))
+                return m.payload("NUMBER", float(len(value["v"])))
+
+        with ORB(timeout=20.0) as orb:
+            orb.serve("u", lambda ctx: Impl(), 2)
+
+            def client(c):
+                proxy = m.carrier._spmd_bind("u", c.runtime)
+                a = proxy.swap(m.payload("NUMBER", 2.5))
+                b = proxy.swap(m.payload("TEXT", "hello"))
+                return a, b
+
+            results = orb.run_spmd_client(2, client)
+            assert results[0] == (
+                {"d": "TEXT", "v": "2.5"},
+                {"d": "NUMBER", "v": 5.0},
+            )

@@ -1,0 +1,112 @@
+"""Shared fixtures for the end-to-end integration tests."""
+
+import numpy as np
+import pytest
+
+from repro import ORB, compile_idl
+from repro.rts.mpi import SUM
+
+#: A representative IDL exercising every argument direction, both
+#: distributed and plain, exceptions, oneway and attributes.
+TEST_IDL = """
+typedef dsequence<double> darray;
+typedef dsequence<long> iarray;
+
+exception bad_step { long step; string reason; };
+
+interface diff_object {
+    void diffusion(in long timestep, inout darray data);
+    double checksum(in darray data);
+    darray make_ramp(in long n);
+    void split(in darray data, out darray low, out double pivot);
+    long scaled(in long factor, inout long counter);
+    void resize_to(in long n, inout darray data);
+    void validate(in long step) raises (bad_step);
+    oneway void note(in long token);
+    attribute long invocations;
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def idl():
+    return compile_idl(TEST_IDL, module_name="integration_idl")
+
+
+def make_servant_class(idl):
+    class DiffServant(idl.diff_object_skel):
+        """Reference SPMD servant used across the integration tests."""
+
+        def __init__(self):
+            self._invocations = 0
+            self.notes = []
+
+        # -- helpers -------------------------------------------------
+
+        def _allreduce(self, value):
+            if self.comm is None:
+                return value
+            return self.comm.allreduce(value, op=SUM)
+
+        # -- operations ----------------------------------------------
+
+        def diffusion(self, timestep, data):
+            self._invocations += 1
+            data.local_data()[:] += float(timestep)
+
+        def checksum(self, data):
+            return float(self._allreduce(data.local_data().sum()))
+
+        def make_ramp(self, n):
+            seq = idl.darray.create(n, comm=self.comm)
+            lo, hi = seq.local_range()
+            seq.local_data()[:] = np.arange(lo, hi, dtype=np.float64)
+            return seq
+
+        def split(self, data, ):
+            raise NotImplementedError  # overridden below
+
+        def scaled(self, factor, counter):
+            return factor * counter, counter + 1
+
+        def resize_to(self, n, data):
+            data.set_length(n)
+
+        def validate(self, step):
+            if step < 0:
+                raise idl.bad_step(step=step, reason="negative step")
+
+        def note(self, token):
+            self.notes.append(token)
+
+        def _get_invocations(self):
+            return self._invocations
+
+        def _set_invocations(self, value):
+            self._invocations = value
+
+    def split(self, data):
+        # out darray 'low' (first half) + out double 'pivot'.
+        full_len = data.length()
+        half = full_len // 2
+        low = idl.darray.create(half, comm=self.comm)
+        lo, hi = low.local_range()
+        full = data.allgather()
+        low.local_data()[:] = full[lo:hi]
+        pivot = float(full[half]) if half < full_len else 0.0
+        return low, pivot
+
+    DiffServant.split = split
+    return DiffServant
+
+
+@pytest.fixture(scope="module")
+def servant_class(idl):
+    return make_servant_class(idl)
+
+
+@pytest.fixture()
+def orb():
+    orb = ORB(timeout=30.0)
+    yield orb
+    orb.shutdown()

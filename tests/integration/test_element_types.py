@@ -1,0 +1,78 @@
+"""Distributed sequences of every numeric IDL element type, end to
+end through both transfer methods (element sizes 1..8 bytes exercise
+the chunk byte math)."""
+
+import numpy as np
+import pytest
+
+from repro import ORB, compile_idl
+from repro.core import TransferMethod
+
+IDL = """
+typedef dsequence<octet>  bytes_seq;
+typedef dsequence<short>  short_seq;
+typedef dsequence<long>   long_seq;
+typedef dsequence<long long> llong_seq;
+typedef dsequence<float>  float_seq;
+typedef dsequence<double> double_seq;
+
+interface mixer {
+    void bump_bytes(inout bytes_seq xs);
+    void bump_shorts(inout short_seq xs);
+    void bump_longs(inout long_seq xs);
+    void bump_llongs(inout llong_seq xs);
+    void bump_floats(inout float_seq xs);
+    void bump_doubles(inout double_seq xs);
+};
+"""
+
+CASES = [
+    ("bytes_seq", "bump_bytes", np.uint8),
+    ("short_seq", "bump_shorts", np.int16),
+    ("long_seq", "bump_longs", np.int32),
+    ("llong_seq", "bump_llongs", np.int64),
+    ("float_seq", "bump_floats", np.float32),
+    ("double_seq", "bump_doubles", np.float64),
+]
+
+
+@pytest.fixture(scope="module")
+def stack():
+    idl = compile_idl(IDL, module_name="element_types_idl")
+
+    class Impl(idl.mixer_skel):
+        pass
+
+    def bump(self, xs):
+        xs.local_data()[:] = xs.local_data() + 1
+
+    for _typedef, op, _dtype in CASES:
+        setattr(Impl, op, bump)
+
+    orb = ORB(timeout=30.0)
+    orb.serve("mixer", lambda ctx: Impl(), 3)
+    yield orb, idl
+    orb.shutdown()
+
+
+@pytest.mark.parametrize("typedef,op,dtype", CASES)
+@pytest.mark.parametrize(
+    "transfer", [TransferMethod.CENTRALIZED, TransferMethod.MULTIPORT]
+)
+def test_element_type_roundtrip(stack, typedef, op, dtype, transfer):
+    orb, idl = stack
+    factory = getattr(idl, typedef)
+    assert factory.dtype == dtype
+
+    def client(c):
+        proxy = idl.mixer._spmd_bind("mixer", c.runtime, transfer=transfer)
+        seq = factory.from_global(
+            np.arange(37, dtype=dtype) % 100, comm=c.comm
+        )
+        getattr(proxy, op)(seq)
+        return seq.allgather()
+
+    expected = (np.arange(37, dtype=dtype) % 100) + 1
+    for result in orb.run_spmd_client(2, client):
+        assert result.dtype == dtype
+        np.testing.assert_array_equal(result, expected)

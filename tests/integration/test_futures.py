@@ -1,0 +1,114 @@
+"""Non-blocking invocation (futures) end-to-end tests (§2.1)."""
+
+import time
+
+import numpy as np
+import pytest
+
+
+def serve(orb, servant_class, nthreads=2, **kw):
+    return orb.serve("example", lambda ctx: servant_class(), nthreads, **kw)
+
+
+class TestFutures:
+    def test_nb_returns_future(self, orb, idl, servant_class):
+        serve(orb, servant_class)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            future = diff.scaled_nb(6, 7)
+            assert not isinstance(future, tuple)
+            return future.value(timeout=20)
+
+        assert orb.run_spmd_client(2, client) == [(42, 8)] * 2
+
+    def test_nb_overlaps_local_compute(self, orb, idl, servant_class):
+        """The paper's point: use remote resources concurrently with
+        the client's own."""
+
+        class Slow(servant_class):
+            def checksum(self, data):
+                time.sleep(0.1)
+                return super().checksum(data)
+
+        orb.serve("example", lambda ctx: Slow(), 2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            seq = idl.darray.from_global(np.ones(10), comm=c.comm)
+            future = diff.checksum_nb(seq)
+            local_work = sum(i * i for i in range(1000))
+            assert local_work > 0
+            return future.value(timeout=20)
+
+        assert orb.run_spmd_client(2, client) == [10.0, 10.0]
+
+    def test_multiple_outstanding_futures_resolve_in_order(
+        self, orb, idl, servant_class
+    ):
+        serve(orb, servant_class, nthreads=3)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            futures = [diff.scaled_nb(i, 10) for i in range(5)]
+            return [f.value(timeout=20) for f in futures]
+
+        for result in orb.run_spmd_client(2, client):
+            assert result == [(i * 10, 11) for i in range(5)]
+
+    def test_nb_with_distributed_inout(self, orb, idl, servant_class):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            seq = idl.darray.from_global(np.zeros(12), comm=c.comm)
+            future = diff.diffusion_nb(9, seq)
+            future.value(timeout=20)
+            return seq.allgather()
+
+        for result in orb.run_spmd_client(2, client):
+            np.testing.assert_array_equal(result, np.full(12, 9.0))
+
+    def test_future_carries_remote_exception(self, orb, idl, servant_class):
+        serve(orb, servant_class)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            future = diff.validate_nb(-3)
+            with pytest.raises(idl.bad_step) as excinfo:
+                future.value(timeout=20)
+            return excinfo.value.step
+
+        assert orb.run_spmd_client(1, client) == [-3]
+
+    def test_blocking_after_nb_preserves_order(self, orb, idl, servant_class):
+        """A blocking call issued while futures are outstanding must
+        not overtake them (FIFO per rank)."""
+        order = []
+
+        class Recording(servant_class):
+            def scaled(self, factor, counter):
+                order.append(factor)
+                return super().scaled(factor, counter)
+
+        orb.serve("example", lambda ctx: Recording(), 1)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            f1 = diff.scaled_nb(1, 0)
+            f2 = diff.scaled_nb(2, 0)
+            blocking = diff.scaled(3, 0)
+            return f1.value(5), f2.value(5), blocking
+
+        orb.run_spmd_client(1, client)
+        assert order == [1, 2, 3]
+
+    def test_future_then_chaining(self, orb, idl, servant_class):
+        serve(orb, servant_class)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            doubled = diff.scaled_nb(5, 1).then(lambda r: r[0] * 2)
+            return doubled.value(timeout=20)
+
+        assert orb.run_spmd_client(2, client) == [10, 10]

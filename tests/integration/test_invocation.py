@@ -1,0 +1,360 @@
+"""End-to-end invocation tests: the full PARDIS stack, both transfer
+methods, varied client/server geometries."""
+
+import numpy as np
+import pytest
+
+from repro.dist import Proportions
+
+TRANSFERS = ["centralized", "multiport"]
+GEOMETRIES = [(1, 1), (1, 4), (2, 3), (4, 2), (3, 8)]
+
+
+def serve(orb, servant_class, name="example", nthreads=4, **kw):
+    return orb.serve(name, lambda ctx: servant_class(), nthreads, **kw)
+
+
+@pytest.mark.parametrize("transfer", TRANSFERS)
+@pytest.mark.parametrize("nclient,nserver", GEOMETRIES)
+class TestGeometries:
+    def test_inout_roundtrip(
+        self, orb, idl, servant_class, transfer, nclient, nserver
+    ):
+        serve(orb, servant_class, nthreads=nserver)
+        n = 977  # deliberately not divisible by thread counts
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(
+                np.arange(n, dtype=np.float64), comm=c.comm
+            )
+            diff.diffusion(5, seq)
+            diff.diffusion(2, seq)
+            return seq.allgather()
+
+        results = orb.run_spmd_client(nclient, client)
+        expected = np.arange(n, dtype=np.float64) + 7
+        for result in results:
+            np.testing.assert_array_equal(result, expected)
+
+    def test_in_only_argument(
+        self, orb, idl, servant_class, transfer, nclient, nserver
+    ):
+        serve(orb, servant_class, nthreads=nserver)
+        n = 500
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(
+                np.ones(n), comm=c.comm
+            )
+            return diff.checksum(seq)
+
+        results = orb.run_spmd_client(nclient, client)
+        assert results == [float(n)] * nclient
+
+
+@pytest.mark.parametrize("transfer", TRANSFERS)
+class TestArgumentShapes:
+    def test_distributed_return_value(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=3)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            ramp = diff.make_ramp(41)
+            # Return values land blockwise on the client (§2.2).
+            assert ramp.layout.nranks == c.size
+            return ramp.allgather()
+
+        for result in orb.run_spmd_client(2, client):
+            np.testing.assert_array_equal(result, np.arange(41.0))
+
+    def test_out_distributed_and_plain(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            data = idl.darray.from_global(
+                np.arange(10.0) * 2, comm=c.comm
+            )
+            low, pivot = diff.split(data)
+            return low.allgather(), pivot
+
+        for low, pivot in orb.run_spmd_client(2, client):
+            np.testing.assert_array_equal(low, np.arange(5.0) * 2)
+            assert pivot == 10.0
+
+    def test_plain_inout_and_return(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            return diff.scaled(6, 7)
+
+        assert orb.run_spmd_client(2, client) == [(42, 8)] * 2
+
+    def test_inout_grow(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=3)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(np.arange(6.0), comm=c.comm)
+            diff.resize_to(10, seq)
+            assert seq.length() == 10
+            return seq.allgather()
+
+        expected = np.concatenate([np.arange(6.0), np.zeros(4)])
+        for result in orb.run_spmd_client(2, client):
+            np.testing.assert_array_equal(result, expected)
+
+    def test_inout_shrink(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(np.arange(10.0), comm=c.comm)
+            diff.resize_to(4, seq)
+            return seq.allgather()
+
+        for result in orb.run_spmd_client(3, client):
+            np.testing.assert_array_equal(result, np.arange(4.0))
+
+    def test_registered_proportions_template(
+        self, orb, idl, servant_class, transfer
+    ):
+        """§2.2: the server presets the distribution of an 'in'
+        parameter before registration."""
+        captured = []
+
+        class Inspecting(servant_class):
+            def diffusion(self, timestep, data):
+                captured.append((self.rank, data.local_length()))
+                super().diffusion(timestep, data)
+
+        orb.serve(
+            "example",
+            lambda ctx: Inspecting(),
+            4,
+            templates={("diffusion", "data"): Proportions(2, 4, 2, 4)},
+        )
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(np.arange(12.0), comm=c.comm)
+            diff.diffusion(1, seq)
+            return seq.allgather()
+
+        results = orb.run_spmd_client(2, client)
+        np.testing.assert_array_equal(results[0], np.arange(12.0) + 1)
+        assert sorted(captured) == [(0, 2), (1, 4), (2, 2), (3, 4)]
+
+    def test_uneven_client_distribution(self, orb, idl, servant_class, transfer):
+        """§3.3: unevenly split sequences work identically."""
+        serve(orb, servant_class, nthreads=3)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.from_global(np.arange(20.0), comm=c.comm)
+            seq.redistribute(Proportions(7, 1, 9, 3))
+            diff.diffusion(3, seq)
+            return seq.allgather()
+
+        for result in orb.run_spmd_client(4, client):
+            np.testing.assert_array_equal(result, np.arange(20.0) + 3)
+
+    def test_empty_sequence(self, orb, idl, servant_class, transfer):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer=transfer
+            )
+            seq = idl.darray.create(0, comm=c.comm)
+            return diff.checksum(seq)
+
+        assert orb.run_spmd_client(2, client) == [0.0, 0.0]
+
+
+class TestBindModes:
+    def test_serial_bind_per_thread(self, orb, idl, servant_class):
+        """§2.1: _bind is non-collective — each thread interacts with
+        the object on its own, using serial sequences."""
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._bind("example", c.runtime)
+            seq = idl.darray.adopt(np.full(4, float(c.rank)))
+            diff.diffusion(10, seq)
+            return seq.local_data().tolist()
+
+        results = orb.run_spmd_client(3, client)
+        assert results == [[10.0 + r] * 4 for r in range(3)]
+
+    def test_serial_bind_rejects_group_sequences(
+        self, orb, idl, servant_class
+    ):
+        serve(orb, servant_class, nthreads=1)
+
+        def client(c):
+            diff = idl.diff_object._bind("example", c.runtime)
+            seq = idl.darray.create(8, comm=c.comm)
+            with pytest.raises(ValueError, match="non-distributed"):
+                diff.checksum(seq)
+            return True
+
+        assert all(orb.run_spmd_client(2, client))
+
+    def test_spmd_bind_on_single_thread_degenerates(
+        self, orb, idl, servant_class
+    ):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            seq = idl.darray.adopt(np.ones(6))
+            return diff.checksum(seq)
+
+        assert orb.run_spmd_client(1, client) == [6.0]
+
+    def test_bind_by_host(self, orb, idl, servant_class):
+        orb.serve(
+            "example", lambda ctx: servant_class(), 1, host="HOST1"
+        )
+        orb.serve(
+            "example", lambda ctx: servant_class(), 1, host="HOST2"
+        )
+
+        def client(c):
+            diff = idl.diff_object._bind("example", c.runtime, "HOST2")
+            return diff.scaled(2, 3)
+
+        assert orb.run_spmd_client(1, client) == [(6, 4)]
+
+    def test_wrong_interface_rejected(self, orb, idl, servant_class):
+        other = __import__("repro").compile_idl(
+            "interface stranger { void hello(); };"
+        )
+        serve(orb, servant_class)
+
+        def client(c):
+            from repro.orb.operation import RemoteError
+
+            with pytest.raises(RemoteError, match="implements"):
+                other.stranger._bind("example", c.runtime)
+            return True
+
+        assert all(orb.run_spmd_client(1, client))
+
+
+class TestServerModes:
+    def test_centralized_only_server(self, orb, idl, servant_class):
+        orb.serve(
+            "example", lambda ctx: servant_class(), 3, multiport=False
+        )
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            # Default transfer falls back to centralized.
+            assert diff.transfer_method == "centralized"
+            seq = idl.darray.from_global(np.ones(9), comm=c.comm)
+            return diff.checksum(seq)
+
+        assert orb.run_spmd_client(2, client) == [9.0, 9.0]
+
+    def test_multiport_to_centralized_server_fails_cleanly(
+        self, orb, idl, servant_class
+    ):
+        orb.serve(
+            "example", lambda ctx: servant_class(), 2, multiport=False
+        )
+
+        def client(c):
+            from repro.orb.operation import RemoteError
+
+            diff = idl.diff_object._spmd_bind(
+                "example", c.runtime, transfer="multiport"
+            )
+            with pytest.raises(RemoteError, match="data ports"):
+                diff.scaled(1, 1)
+            return True
+
+        assert all(orb.run_spmd_client(2, client))
+
+    def test_oneway(self, orb, idl, servant_class):
+        servants = []
+
+        def factory(ctx):
+            servant = servant_class()
+            servants.append(servant)
+            return servant
+
+        group = orb.serve("example", factory, 2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            diff.note(123)
+            # A blocking call afterwards guarantees the oneway has
+            # been dispatched before we assert.
+            diff.scaled(1, 1)
+            return True
+
+        assert all(orb.run_spmd_client(2, client))
+        assert all(s.notes == [123] for s in servants)
+
+    def test_attribute_property(self, orb, idl, servant_class):
+        serve(orb, servant_class, nthreads=2)
+
+        def client(c):
+            diff = idl.diff_object._spmd_bind("example", c.runtime)
+            seq = idl.darray.from_global(np.zeros(4), comm=c.comm)
+            before = diff.invocations
+            diff.diffusion(1, seq)
+            after = diff.invocations
+            diff.invocations = 100
+            return before, after, diff.invocations
+
+        for before, after, reset in orb.run_spmd_client(2, client):
+            assert (before, after, reset) == (0, 1, 100)
+
+    def test_interface_inheritance_dispatch(self, orb):
+        from repro import compile_idl
+
+        compiled = compile_idl(
+            """
+            interface base { long double_it(in long x); };
+            interface derived : base { long triple_it(in long x); };
+            """
+        )
+
+        class Impl(compiled.derived_skel):
+            def double_it(self, x):
+                return 2 * x
+
+            def triple_it(self, x):
+                return 3 * x
+
+        orb.serve("poly", lambda ctx: Impl(), 1)
+
+        def client(c):
+            proxy = compiled.derived._bind("poly", c.runtime)
+            return proxy.double_it(10), proxy.triple_it(10)
+
+        assert orb.run_spmd_client(1, client) == [(20, 30)]

@@ -1,0 +1,71 @@
+"""Lifecycle edge cases: stale references, shutdown during use."""
+
+import pytest
+
+from repro.orb.transport import TransportError
+
+
+class TestStaleReferences:
+    def test_invoking_a_shut_down_object_fails_cleanly(
+        self, orb, idl, servant_class
+    ):
+        group = orb.serve("gone", lambda ctx: servant_class(), 2)
+
+        def client(c):
+            proxy = idl.diff_object._spmd_bind("gone", c.runtime)
+            assert proxy.scaled(2, 1) == (2, 2)
+            return proxy
+
+        # Bind + one invocation while alive.
+        orb.run_spmd_client(1, client)
+        group.shutdown()
+
+        def stale_client(c):
+            from repro.orb.proxy import ClientProxy
+
+            # Re-create a proxy from the stale reference directly.
+            from repro.orb.proxy import BindMode
+
+            proxy = idl.diff_object(
+                c.runtime, group.reference, BindMode.SERIAL, "centralized"
+            )
+            with pytest.raises(TransportError, match="no port"):
+                proxy.scaled(1, 1)
+            return True
+
+        assert all(orb.run_spmd_client(1, stale_client))
+
+    def test_name_is_gone_after_shutdown(self, orb, idl, servant_class):
+        group = orb.serve("gone2", lambda ctx: servant_class(), 1)
+        group.shutdown()
+
+        def client(c):
+            from repro.orb.naming import NamingError
+
+            with pytest.raises(NamingError):
+                idl.diff_object._bind("gone2", c.runtime)
+            return True
+
+        assert all(orb.run_spmd_client(1, client))
+
+    def test_rebind_after_shutdown_serves_again(self, orb, idl, servant_class):
+        group = orb.serve("phoenix", lambda ctx: servant_class(), 2)
+        group.shutdown()
+        orb.serve("phoenix", lambda ctx: servant_class(), 3)
+
+        def client(c):
+            proxy = idl.diff_object._spmd_bind("phoenix", c.runtime)
+            return proxy.scaled(3, 3)
+
+        assert orb.run_spmd_client(2, client) == [(9, 4)] * 2
+
+    def test_closed_runtime_rejects_new_invocations(
+        self, orb, idl, servant_class
+    ):
+        orb.serve("alive", lambda ctx: servant_class(), 1)
+        runtime = orb.client_runtime()
+        proxy = idl.diff_object._bind("alive", runtime)
+        assert proxy.scaled(1, 1) == (1, 2)
+        runtime.close()
+        with pytest.raises(Exception):
+            proxy.scaled(1, 1)

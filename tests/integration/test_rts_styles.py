@@ -1,0 +1,62 @@
+"""The ORB over both RTS interfaces (§2.3): the implemented
+message-passing interface and the planned one-sided alternative."""
+
+import numpy as np
+import pytest
+
+STYLES = ["message-passing", "one-sided"]
+
+
+@pytest.mark.parametrize("server_style", STYLES)
+@pytest.mark.parametrize("client_style", STYLES)
+def test_centralized_invocation_under_any_rts_pairing(
+    orb, idl, servant_class, server_style, client_style
+):
+    """The transfer engines program against the RuntimeSystem
+    contract, so any client/server pairing of RTS styles must yield
+    identical results (only the gather/scatter mechanics differ)."""
+    orb.serve(
+        "styled",
+        lambda ctx: servant_class(),
+        3,
+        rts_style=server_style,
+    )
+
+    from repro.core.orb import ClientContext
+    from repro.rts.executor import SpmdExecutor
+
+    def body(rank_ctx):
+        runtime = orb.client_runtime(
+            rank_ctx.comm, rts_style=client_style
+        )
+        try:
+            c = ClientContext(
+                rank=rank_ctx.rank,
+                size=2,
+                comm=rank_ctx.comm,
+                runtime=runtime,
+            )
+            proxy = idl.diff_object._spmd_bind(
+                "styled", c.runtime, transfer="centralized"
+            )
+            seq = idl.darray.from_global(
+                np.arange(13, dtype=np.float64), comm=c.comm
+            )
+            proxy.diffusion(4, seq)
+            return seq.allgather()
+        finally:
+            runtime.close()
+
+    results = SpmdExecutor(2).run(body)
+    for result in results:
+        np.testing.assert_array_equal(
+            result, np.arange(13, dtype=np.float64) + 4
+        )
+
+
+def test_unknown_rts_style_rejected(orb):
+    with pytest.raises(ValueError, match="unknown RTS style"):
+        from repro.rts.mpi import create_group
+
+        comms = create_group(1)
+        orb.client_runtime(comms[0], rts_style="telepathic")

@@ -1,0 +1,159 @@
+"""Server-side feature tests: request interruption (§2.1) and wire
+robustness."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.orb.transport import KIND_DATA, KIND_REQUEST
+
+
+class TestServicePending:
+    """§2.1: 'PARDIS also allows the server to interrupt its
+    computation in order to process outstanding requests.'"""
+
+    def test_long_computation_services_queued_requests(self, orb, idl):
+        in_loop = threading.Event()
+        served_mid_flight = []
+
+        class LongRunning(idl.diff_object_skel):
+            def diffusion(self, timestep, data):
+                # A long computation that yields to the ORB each
+                # iteration: the queued short request is served
+                # mid-flight, then the computation completes.
+                for i in range(5000):
+                    if self.rank == 0 and i == 0:
+                        in_loop.set()
+                    # service_pending is collective and returns the
+                    # same count on every thread (the request is
+                    # broadcast), so this break is SPMD-consistent.
+                    if self.service_pending():
+                        served_mid_flight.append(i)
+                        break
+                    time.sleep(0.001)
+                data.local_data()[:] += float(timestep)
+
+            def scaled(self, factor, counter):
+                # The short request that arrives mid-computation.
+                return factor, counter
+
+        orb.serve("busy", lambda ctx: LongRunning(), 2)
+
+        short_result = {}
+
+        def short_client():
+            runtime = orb.client_runtime(label="short")
+            proxy = idl.diff_object._bind("busy", runtime)
+            assert in_loop.wait(timeout=20)
+            short_result["value"] = proxy.scaled(7, 7)
+            runtime.close()
+
+        def long_client(c):
+            proxy = idl.diff_object._spmd_bind("busy", c.runtime)
+            seq = idl.darray.from_global(np.zeros(10), comm=c.comm)
+            proxy.diffusion(2000, seq)
+            return seq.allgather()[0]
+
+        interloper = threading.Thread(target=short_client)
+        interloper.start()
+        results = orb.run_spmd_client(2, long_client)
+        interloper.join(30)
+
+        assert results == [2000.0, 2000.0]
+        # The short invocation completed even though the object was
+        # mid-way through a long one.
+        assert short_result["value"] == (7, 7)
+        assert served_mid_flight, "request was not served mid-flight"
+
+    def test_service_pending_returns_zero_when_idle(self, orb, idl):
+        class Idle(idl.diff_object_skel):
+            def scaled(self, factor, counter):
+                return self.service_pending(), counter
+
+        orb.serve("idle", lambda ctx: Idle(), 2)
+
+        def client(c):
+            proxy = idl.diff_object._spmd_bind("idle", c.runtime)
+            return proxy.scaled(1, 1)
+
+        assert orb.run_spmd_client(2, client) == [(0, 1)] * 2
+
+    def test_service_pending_outside_activation_rejected(self, idl):
+        servant = idl.diff_object_skel()
+        with pytest.raises(RuntimeError, match="activated"):
+            servant.service_pending()
+
+
+class TestWireRobustness:
+    def test_garbage_on_request_port_is_dropped(self, orb, idl, servant_class):
+        group = orb.serve("tough", lambda ctx: servant_class(), 2)
+        attacker = orb.fabric.open_port("attacker")
+        # Fire junk datagrams at the object's request port.
+        for junk in (b"", b"\x00", b"\x01garbage" * 10, b"\xff" * 64):
+            attacker.send(
+                group.reference.request_port, junk, KIND_REQUEST
+            )
+        attacker.close()
+
+        def client(c):
+            proxy = idl.diff_object._spmd_bind("tough", c.runtime)
+            return proxy.scaled(3, 4)
+
+        # The object survives and keeps serving real requests.
+        assert orb.run_spmd_client(2, client) == [(12, 5)] * 2
+
+    def test_unexpected_data_chunks_do_not_corrupt(self, orb, idl, servant_class):
+        """Chunks for an unknown request id just sit in the collector;
+        they must never be matched into another request."""
+        from repro.orb.request import DataChunk, PHASE_REQUEST
+
+        group = orb.serve("tough2", lambda ctx: servant_class(), 2)
+        attacker = orb.fabric.open_port("attacker")
+        rogue = DataChunk(
+            request_id=999_999,
+            param="data",
+            phase=PHASE_REQUEST,
+            src_rank=0,
+            dst_rank=0,
+            global_lo=0,
+            global_hi=4,
+            payload=np.full(4, -66.0).tobytes(),
+        )
+        attacker.send(
+            group.reference.data_ports[0], rogue.encode(), KIND_DATA
+        )
+        attacker.close()
+
+        def client(c):
+            proxy = idl.diff_object._spmd_bind("tough2", c.runtime)
+            seq = idl.darray.from_global(np.ones(8), comm=c.comm)
+            proxy.diffusion(1, seq)
+            return seq.allgather()
+
+        for result in orb.run_spmd_client(2, client):
+            np.testing.assert_array_equal(result, np.full(8, 2.0))
+
+
+class TestActivationFailures:
+    def test_broken_servant_factory_fails_fast(self, orb, idl):
+        import time
+
+        from repro.rts.executor import SpmdError
+
+        def broken_factory(ctx):
+            raise RuntimeError("factory exploded")
+
+        started = time.monotonic()
+        with pytest.raises(SpmdError, match="factory exploded"):
+            orb.serve("doomed", broken_factory, 2)
+        assert time.monotonic() - started < 10.0
+        # No naming entry, no leaked ports for the doomed object.
+        assert ("doomed", "") not in orb.naming.names()
+
+    def test_non_servant_factory_rejected(self, orb, idl):
+        from repro.rts.executor import SpmdError
+
+        with pytest.raises(SpmdError, match="not a Servant"):
+            orb.serve("wrong", lambda ctx: object(), 1)

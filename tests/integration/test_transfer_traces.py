@@ -1,0 +1,174 @@
+"""Protocol-pattern tests reproducing Figures 2 and 3.
+
+Figure 2 (centralized): run-time-system communication (gather at the
+client, scatter at the server) surrounds a single thick network
+transfer between the two communicating threads.
+
+Figure 3 (multi-port): no run-time-system gather/scatter for argument
+data; instead each client thread sends directly to every server thread
+whose block it overlaps.
+
+These tests run a real invocation with a tracer attached and assert
+the exact message pattern of each figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ORB, compile_idl
+from repro.orb.transfer import Tracer
+
+IDL = """
+typedef dsequence<double> darray;
+interface diff_object {
+    void diffusion(in long timestep, inout darray data);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def idl():
+    return compile_idl(IDL, module_name="trace_idl")
+
+
+@pytest.fixture()
+def traced_orb():
+    tracer = Tracer()
+    orb = ORB(tracer=tracer, timeout=30.0)
+    yield orb, tracer
+    orb.shutdown()
+
+
+def run_diffusion(orb, idl, transfer, nclient, nserver, n=120):
+    class Impl(idl.diff_object_skel):
+        def diffusion(self, timestep, data):
+            data.local_data()[:] += timestep
+
+    orb.serve("example", lambda ctx: Impl(), nserver)
+
+    def client(c):
+        diff = idl.diff_object._spmd_bind(
+            "example", c.runtime, transfer=transfer
+        )
+        seq = idl.darray.from_global(
+            np.zeros(n), comm=c.comm
+        )
+        diff.diffusion(1, seq)
+        return seq.allgather()
+
+    results = orb.run_spmd_client(nclient, client)
+    np.testing.assert_array_equal(results[0], np.ones(n))
+
+
+class TestFigure2Centralized:
+    NCLIENT, NSERVER = 3, 4
+
+    def test_pattern(self, traced_orb, idl):
+        orb, tracer = traced_orb
+        run_diffusion(
+            orb, idl, "centralized", self.NCLIENT, self.NSERVER
+        )
+        # Client-side gather: every non-communicating client thread
+        # contributes its block to thread 0 (the dotted lines of
+        # Figure 2, left).
+        gathers = tracer.of_kind("rts-gather")
+        client_gathers = [g for g in gathers if g[1] == "client"]
+        assert {g[2] for g in client_gathers} == set(
+            range(1, self.NCLIENT)
+        )
+        assert all(g[3] == 0 for g in client_gathers)
+        # Exactly one request and one reply cross the network (the
+        # thick black line).
+        assert len(tracer.of_kind("net-request")) == 1
+        # Reply crosses once (client side logs on receive, server on
+        # send; both tagged net-reply -> 2 events for 1 message).
+        assert len(tracer.of_kind("net-reply")) == 2
+        # No direct thread-to-thread data chunks in this method.
+        assert tracer.of_kind("net-chunk") == []
+        # Server-side scatter to every non-communicating thread, and a
+        # mirror gather for the inout result.
+        server_scatters = [
+            s for s in tracer.of_kind("rts-scatter") if s[1] == "server"
+        ]
+        assert {s[3] for s in server_scatters} == set(
+            range(1, self.NSERVER)
+        )
+        server_gathers = [g for g in gathers if g[1] == "server"]
+        assert {g[2] for g in server_gathers} == set(
+            range(1, self.NSERVER)
+        )
+        # Client scatters the returned data back over its threads.
+        client_scatters = [
+            s for s in tracer.of_kind("rts-scatter") if s[1] == "client"
+        ]
+        assert {s[3] for s in client_scatters} == set(
+            range(1, self.NCLIENT)
+        )
+
+    def test_synchronization_points(self, traced_orb, idl):
+        orb, tracer = traced_orb
+        run_diffusion(orb, idl, "centralized", 2, 2)
+        syncs = tracer.of_kind("sync")
+        assert ("sync", "client", "pre-invoke") in syncs
+        assert ("sync", "client", "post-invoke") in syncs
+        assert ("sync", "server", "post-invoke") in syncs
+
+
+class TestFigure3MultiPort:
+    NCLIENT, NSERVER = 3, 4
+
+    def test_pattern(self, traced_orb, idl):
+        orb, tracer = traced_orb
+        # 120 elements over 3 client threads (40 each) and 4 server
+        # threads (30 each): client 0 -> servers {0,1}, client 1 ->
+        # servers {1,2}, client 2 -> servers {2,3}.
+        run_diffusion(orb, idl, "multiport", self.NCLIENT, self.NSERVER)
+        # The header still travels centralized: one request message.
+        assert len(tracer.of_kind("net-request")) == 1
+        # Request-phase chunks: exactly the block-intersection pattern.
+        request_chunks = {
+            (c[3], c[4])
+            for c in tracer.of_kind("net-chunk")
+            if c[1] == 0  # PHASE_REQUEST
+        }
+        assert request_chunks == {
+            (0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3),
+        }
+        # Reply-phase chunks mirror the pattern (server -> client).
+        reply_chunks = {
+            (c[3], c[4])
+            for c in tracer.of_kind("net-chunk")
+            if c[1] == 1  # PHASE_REPLY
+        }
+        assert reply_chunks == {
+            (0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2),
+        }
+        # No run-time-system gather/scatter of argument data at all:
+        # "communication is direct, no need for gather and scatter".
+        assert tracer.of_kind("rts-gather") == []
+        assert tracer.of_kind("rts-scatter") == []
+
+    def test_chunk_volume_matches_argument(self, traced_orb, idl):
+        orb, tracer = traced_orb
+        n = 120
+        run_diffusion(orb, idl, "multiport", 3, 4, n=n)
+        sent = sum(
+            c[5] for c in tracer.of_kind("net-chunk") if c[1] == 0
+        )
+        returned = sum(
+            c[5] for c in tracer.of_kind("net-chunk") if c[1] == 1
+        )
+        assert sent == n and returned == n
+
+    def test_aligned_layouts_minimize_sends(self, traced_orb, idl):
+        """Equal client and server thread counts with blockwise layout
+        on both sides: exactly one chunk per thread per direction —
+        'only the minimum number of sends in each case' (§3.3)."""
+        orb, tracer = traced_orb
+        run_diffusion(orb, idl, "multiport", 4, 4, n=128)
+        request_chunks = [
+            c for c in tracer.of_kind("net-chunk") if c[1] == 0
+        ]
+        assert sorted((c[3], c[4]) for c in request_chunks) == [
+            (r, r) for r in range(4)
+        ]

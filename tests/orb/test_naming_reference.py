@@ -1,0 +1,139 @@
+"""Naming service and object-reference tests."""
+
+import pytest
+
+from repro.orb.naming import NamingError, NamingService
+from repro.orb.reference import ObjectReference
+from repro.orb.transport import PortAddress
+
+
+def make_ref(key="obj", nports=0):
+    return ObjectReference(
+        object_key=key,
+        repo_id=f"IDL:{key}:1.0",
+        request_port=PortAddress(1, "req"),
+        data_ports=tuple(
+            PortAddress(10 + i, f"d{i}") for i in range(nports)
+        ),
+        param_templates=(
+            (("diffusion", "darray"), ("proportions", (2, 4))),
+        ),
+    )
+
+
+class TestObjectReference:
+    def test_nthreads(self):
+        assert make_ref().nthreads == 1
+        assert make_ref(nports=4).nthreads == 4
+
+    def test_multiport_capable(self):
+        assert not make_ref().multiport_capable
+        assert make_ref(nports=2).multiport_capable
+
+    def test_template_lookup(self):
+        ref = make_ref()
+        assert ref.template_spec("diffusion", "darray") == (
+            "proportions",
+            (2, 4),
+        )
+        assert ref.template_spec("diffusion", "other") is None
+
+    def test_ior_roundtrip(self):
+        ref = make_ref(nports=3)
+        text = ref.ior()
+        assert text.startswith("IOR:")
+        assert ObjectReference.from_ior(text) == ref
+
+    def test_malformed_ior(self):
+        with pytest.raises(ValueError, match="not a stringified"):
+            ObjectReference.from_ior("nope")
+        with pytest.raises(ValueError, match="malformed"):
+            ObjectReference.from_ior("IOR:zzzz")
+
+    def test_ior_must_contain_reference(self):
+        import binascii
+
+        fake = "IOR:" + binascii.hexlify(b"\x01not a reference").decode()
+        with pytest.raises(ValueError, match="malformed"):
+            ObjectReference.from_ior(fake)
+
+    def test_ior_is_not_pickle(self):
+        """The stringified form is pure CDR — parsing attacker-supplied
+        IORs can never execute code."""
+        import binascii
+
+        blob = binascii.unhexlify(make_ref(nports=2).ior()[4:])
+        assert b"pickle" not in blob
+        # CDR streams start with the byte-order flag, not pickle's
+        # protocol opcode \x80.
+        assert blob[0] in (0, 1)
+
+
+class TestNaming:
+    def test_bind_resolve(self):
+        naming = NamingService()
+        ref = make_ref()
+        naming.bind("example", ref)
+        assert naming.resolve("example") is ref
+
+    def test_duplicate_bind_rejected(self):
+        naming = NamingService()
+        naming.bind("example", make_ref())
+        with pytest.raises(NamingError, match="already bound"):
+            naming.bind("example", make_ref())
+
+    def test_rebind_replaces(self):
+        naming = NamingService()
+        naming.bind("example", make_ref("a"))
+        newer = make_ref("b")
+        naming.rebind("example", newer)
+        assert naming.resolve("example") is newer
+
+    def test_unknown_name(self):
+        with pytest.raises(NamingError, match="no object"):
+            NamingService().resolve("ghost")
+
+    def test_host_scoping(self):
+        naming = NamingService()
+        ref1, ref2 = make_ref("a"), make_ref("b")
+        naming.bind("example", ref1, host="host1")
+        naming.bind("example", ref2, host="host2")
+        assert naming.resolve("example", "host1") is ref1
+        assert naming.resolve("example", "host2") is ref2
+
+    def test_ambiguous_without_host(self):
+        naming = NamingService()
+        naming.bind("example", make_ref("a"), host="host1")
+        naming.bind("example", make_ref("b"), host="host2")
+        with pytest.raises(NamingError, match="several hosts"):
+            naming.resolve("example")
+
+    def test_single_registration_resolves_without_host(self):
+        naming = NamingService()
+        naming.bind("example", make_ref(), host="host1")
+        assert naming.resolve("example") is not None
+
+    def test_unknown_host(self):
+        naming = NamingService()
+        naming.bind("example", make_ref(), host="host1")
+        with pytest.raises(NamingError, match="host"):
+            naming.resolve("example", "other")
+
+    def test_unbind(self):
+        naming = NamingService()
+        naming.bind("example", make_ref())
+        naming.unbind("example")
+        with pytest.raises(NamingError):
+            naming.resolve("example")
+        with pytest.raises(NamingError):
+            naming.unbind("example")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NamingError, match="empty"):
+            NamingService().bind("", make_ref())
+
+    def test_names_listing(self):
+        naming = NamingService()
+        naming.bind("b", make_ref())
+        naming.bind("a", make_ref(), host="h")
+        assert naming.names() == [("a", "h"), ("b", "")]

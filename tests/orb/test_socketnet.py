@@ -1,0 +1,232 @@
+"""TCP transport and remote naming tests.
+
+In-process these exercise real sockets over loopback; the
+cross-process path is covered by tests/integration/test_multiprocess.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.orb.naming import NamingError
+from repro.orb.reference import ObjectReference
+from repro.orb.socketnet import (
+    NamingServer,
+    RemoteNamingClient,
+    SocketFabric,
+    SocketPortAddress,
+)
+from repro.orb.transport import KIND_DATA, KIND_REQUEST, TransportError
+
+
+@pytest.fixture()
+def fabric():
+    with SocketFabric("test-fabric") as fabric:
+        yield fabric
+
+
+class TestSocketFabric:
+    def test_local_delivery(self, fabric):
+        a, b = fabric.open_port("a"), fabric.open_port("b")
+        a.send(b.address, b"hello", KIND_REQUEST)
+        src, kind, payload = b.recv(timeout=5)
+        assert (kind, payload) == (KIND_REQUEST, b"hello")
+        assert src == a.address
+
+    def test_cross_fabric_delivery_over_tcp(self, fabric):
+        with SocketFabric("peer") as peer:
+            sender = fabric.open_port("sender")
+            receiver = peer.open_port("receiver")
+            sender.send(receiver.address, b"over tcp", KIND_DATA)
+            src, kind, payload = receiver.recv(timeout=5)
+            assert payload == b"over tcp"
+            assert src.tcp_port == fabric.tcp_port
+
+    def test_bidirectional_conversation(self, fabric):
+        with SocketFabric("peer") as peer:
+            a = fabric.open_port("a")
+            b = peer.open_port("b")
+            a.send(b.address, b"ping")
+            src, _, _ = b.recv(timeout=5)
+            b.send(src, b"pong")
+            assert a.recv(timeout=5)[2] == b"pong"
+
+    def test_many_messages_stay_ordered(self, fabric):
+        with SocketFabric("peer") as peer:
+            a = fabric.open_port()
+            b = peer.open_port()
+            for i in range(100):
+                a.send(b.address, bytes([i]), KIND_DATA)
+            got = [b.recv(timeout=5)[2][0] for _ in range(100)]
+            assert got == list(range(100))
+
+    def test_large_payload(self, fabric):
+        with SocketFabric("peer") as peer:
+            a = fabric.open_port()
+            b = peer.open_port()
+            blob = np.arange(200_000, dtype=np.float64).tobytes()
+            a.send(b.address, blob)
+            assert b.recv(timeout=10)[2] == blob
+
+    def test_unknown_local_port(self, fabric):
+        a = fabric.open_port()
+        ghost = SocketPortAddress(fabric.host, fabric.tcp_port, 9999)
+        with pytest.raises(TransportError, match="no port"):
+            a.send(ghost, b"x")
+
+    def test_unreachable_endpoint(self, fabric):
+        a = fabric.open_port()
+        # A port that is almost certainly closed.
+        ghost = SocketPortAddress("127.0.0.1", 1, 1)
+        with pytest.raises(TransportError, match="cannot reach"):
+            a.send(ghost, b"x")
+
+    def test_bytes_only(self, fabric):
+        a, b = fabric.open_port(), fabric.open_port()
+        with pytest.raises(TransportError, match="bytes"):
+            a.send(b.address, "not bytes")  # type: ignore[arg-type]
+
+    def test_meter_sees_outgoing(self, fabric):
+        seen = []
+        fabric.add_meter(lambda s, d, k, n: seen.append((k, n)))
+        a, b = fabric.open_port(), fabric.open_port()
+        a.send(b.address, b"xyz", KIND_DATA)
+        assert seen == [(KIND_DATA, 3)]
+
+    def test_closed_fabric_rejects_ports(self):
+        fabric = SocketFabric()
+        fabric.close()
+        with pytest.raises(TransportError, match="closed"):
+            fabric.open_port()
+
+    def test_addresses_survive_ior_roundtrip(self, fabric):
+        port = fabric.open_port("obj:request")
+        ref = ObjectReference(
+            object_key="obj",
+            repo_id="IDL:obj:1.0",
+            request_port=port.address,
+            data_ports=(port.address,),
+        )
+        back = ObjectReference.from_ior(ref.ior())
+        assert back.request_port == port.address
+        assert back.request_port.tcp_port == fabric.tcp_port
+
+
+def make_ref(fabric, key="obj"):
+    port = fabric.open_port(key)
+    return ObjectReference(
+        object_key=key,
+        repo_id=f"IDL:{key}:1.0",
+        request_port=port.address,
+    )
+
+
+class TestRemoteNaming:
+    def test_bind_resolve_roundtrip(self, fabric):
+        with NamingServer() as server:
+            client = RemoteNamingClient(server.host, server.tcp_port)
+            ref = make_ref(fabric)
+            client.bind("example", ref)
+            resolved = client.resolve("example")
+            assert resolved == ref
+            client.close()
+
+    def test_resolve_by_host(self, fabric):
+        with NamingServer() as server:
+            client = RemoteNamingClient(server.host, server.tcp_port)
+            client.bind("obj", make_ref(fabric, "a"), host="h1")
+            client.bind("obj", make_ref(fabric, "b"), host="h2")
+            assert client.resolve("obj", "h2").object_key == "b"
+            with pytest.raises(NamingError, match="several"):
+                client.resolve("obj")
+            client.close()
+
+    def test_duplicate_bind_error_propagates(self, fabric):
+        with NamingServer() as server:
+            client = RemoteNamingClient(server.host, server.tcp_port)
+            client.bind("x", make_ref(fabric))
+            with pytest.raises(NamingError, match="already bound"):
+                client.bind("x", make_ref(fabric))
+            client.rebind("x", make_ref(fabric, "newer"))
+            assert client.resolve("x").object_key == "newer"
+            client.close()
+
+    def test_unbind_and_names(self, fabric):
+        with NamingServer() as server:
+            client = RemoteNamingClient(server.host, server.tcp_port)
+            client.bind("a", make_ref(fabric))
+            client.bind("b", make_ref(fabric), host="h")
+            assert client.names() == [("a", ""), ("b", "h")]
+            client.unbind("a")
+            assert client.names() == [("b", "h")]
+            with pytest.raises(NamingError):
+                client.resolve("a")
+            client.close()
+
+    def test_unreachable_server(self):
+        client = RemoteNamingClient("127.0.0.1", 1)
+        with pytest.raises(NamingError, match="unreachable"):
+            client.resolve("anything")
+
+    def test_two_clients_share_registry(self, fabric):
+        with NamingServer() as server:
+            c1 = RemoteNamingClient(server.host, server.tcp_port)
+            c2 = RemoteNamingClient(server.host, server.tcp_port)
+            c1.bind("shared", make_ref(fabric))
+            assert c2.resolve("shared").object_key == "obj"
+            c1.close()
+            c2.close()
+
+
+class TestOrbOverSockets:
+    def test_full_invocation_over_tcp_fabrics(self):
+        """Two ORBs in one process, joined only by TCP + the naming
+        server — the in-process fabric is not involved at all."""
+        from repro import ORB, compile_idl
+
+        idl = compile_idl(
+            """
+            typedef dsequence<double> d;
+            interface adder { double total(in d xs); };
+            """,
+            module_name="socket_idl",
+        )
+
+        class Impl(idl.adder_skel):
+            def total(self, xs):
+                value = float(xs.local_data().sum())
+                if self.comm is not None:
+                    from repro.rts.mpi import SUM
+
+                    value = self.comm.allreduce(value, op=SUM)
+                return value
+
+        with NamingServer() as names:
+            server_fabric = SocketFabric("server-side")
+            client_fabric = SocketFabric("client-side")
+            server_orb = ORB(
+                "server",
+                fabric=server_fabric,
+                naming=RemoteNamingClient(names.host, names.tcp_port),
+            )
+            client_orb = ORB(
+                "client",
+                fabric=client_fabric,
+                naming=RemoteNamingClient(names.host, names.tcp_port),
+            )
+            try:
+                server_orb.serve("adder", lambda ctx: Impl(), 3)
+
+                def client(c):
+                    proxy = idl.adder._spmd_bind("adder", c.runtime)
+                    xs = idl.d.from_global(
+                        np.arange(100, dtype=np.float64), comm=c.comm
+                    )
+                    return proxy.total(xs)
+
+                results = client_orb.run_spmd_client(2, client)
+                assert results == [4950.0, 4950.0]
+            finally:
+                client_orb.shutdown()
+                server_orb.shutdown()
+                server_fabric.close()
+                client_fabric.close()

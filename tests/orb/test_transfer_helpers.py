@@ -1,0 +1,187 @@
+"""Unit tests for transfer-engine building blocks (slots, composition,
+chunk collection, body marshaling)."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.typecodes import (
+    DSequenceTC,
+    MarshalError,
+    TC_DOUBLE,
+    TC_LONG,
+    TC_STRING,
+    TC_VOID,
+)
+from repro.dist import Layout
+from repro.orb.operation import (
+    Direction,
+    OperationSpec,
+    ParamSpec,
+    RemoteError,
+)
+from repro.orb.request import DataChunk, PHASE_REQUEST
+from repro.orb.transfer import (
+    ChunkCollector,
+    assemble_chunks,
+    compose,
+    decode_plain_body,
+    decompose,
+    encode_plain_body,
+    produced_slots,
+    reply_slots,
+    request_slots,
+)
+from repro.orb.transport import Fabric, KIND_DATA
+
+DS = DSequenceTC(TC_DOUBLE)
+
+
+def spec(**kw):
+    defaults = dict(
+        name="op",
+        params=(
+            ParamSpec("a", Direction.IN, TC_LONG),
+            ParamSpec("b", Direction.INOUT, DS),
+            ParamSpec("c", Direction.OUT, TC_STRING),
+            ParamSpec("d", Direction.OUT, DS),
+            ParamSpec("e", Direction.INOUT, TC_LONG),
+        ),
+        return_tc=TC_DOUBLE,
+    )
+    defaults.update(kw)
+    return OperationSpec(**defaults)
+
+
+class TestSlots:
+    def test_request_slots_are_sent_params(self):
+        names = [s.name for s in request_slots(spec())]
+        assert names == ["a", "b", "e"]
+
+    def test_reply_slots_return_first(self):
+        names = [s.name for s in reply_slots(spec())]
+        assert names == ["__return__", "b", "c", "d", "e"]
+
+    def test_void_return_omitted(self):
+        names = [s.name for s in reply_slots(spec(return_tc=TC_VOID))]
+        assert names == ["b", "c", "d", "e"]
+
+    def test_produced_slots_skip_inout_dsequence(self):
+        # 'b' (inout dsequence) is mutated in place, not produced.
+        names = [s.name for s in produced_slots(spec())]
+        assert names == ["__return__", "c", "d", "e"]
+
+    def test_distributed_flag(self):
+        by_name = {s.name: s for s in reply_slots(spec())}
+        assert by_name["b"].distributed and by_name["d"].distributed
+        assert not by_name["c"].distributed
+
+
+class TestComposition:
+    def test_compose_rules(self):
+        assert compose([]) is None
+        assert compose([7]) == 7
+        assert compose([1, 2]) == (1, 2)
+
+    def test_decompose_inverts(self):
+        assert decompose(None, 0, "x") == []
+        assert decompose(7, 1, "x") == [7]
+        assert decompose((1, 2), 2, "x") == [1, 2]
+
+    def test_decompose_arity_errors(self):
+        with pytest.raises(RemoteError):
+            decompose(5, 0, "servant")
+        with pytest.raises(RemoteError):
+            decompose(5, 2, "servant")
+        with pytest.raises(RemoteError):
+            decompose((1, 2, 3), 2, "servant")
+
+
+class TestPlainBody:
+    def test_roundtrip_skips_distributed(self):
+        slots = request_slots(spec())
+        body = encode_plain_body(slots, {"a": 5, "e": -1, "b": "IGNORED"})
+        values = decode_plain_body(slots, body)
+        assert values == {"a": 5, "e": -1}
+
+
+class TestChunkCollector:
+    def make_chunk(self, rid, param, lo, hi, phase=PHASE_REQUEST):
+        data = np.arange(lo, hi, dtype=np.float64)
+        return DataChunk(
+            rid, param, phase, 0, 0, lo, hi, data.tobytes()
+        )
+
+    def test_collects_expected_count(self):
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        collector = ChunkCollector(port)
+        for chunk in (
+            self.make_chunk(1, "x", 0, 4),
+            self.make_chunk(1, "x", 4, 8),
+        ):
+            sender.send(port.address, chunk.encode(), KIND_DATA)
+        chunks = collector.collect(1, "x", PHASE_REQUEST, 2, timeout=5)
+        assert len(chunks) == 2
+
+    def test_unrelated_chunks_are_held_not_lost(self):
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        collector = ChunkCollector(port)
+        sender.send(
+            port.address, self.make_chunk(2, "y", 0, 3).encode(), KIND_DATA
+        )
+        sender.send(
+            port.address, self.make_chunk(1, "x", 0, 3).encode(), KIND_DATA
+        )
+        got = collector.collect(1, "x", PHASE_REQUEST, 1, timeout=5)
+        assert got[0].param == "x"
+        # The held chunk for request 2 is still retrievable.
+        got2 = collector.collect(2, "y", PHASE_REQUEST, 1, timeout=5)
+        assert got2[0].param == "y"
+
+    def test_timeout_when_chunks_missing(self):
+        from repro.orb.transport import TransportError
+
+        fabric = Fabric()
+        collector = ChunkCollector(fabric.open_port())
+        with pytest.raises(TransportError):
+            collector.collect(1, "x", PHASE_REQUEST, 1, timeout=0.05)
+
+
+class TestAssembleChunks:
+    def test_places_chunks_at_local_offsets(self):
+        layout = Layout(((0, 4), (4, 10)))
+        out = np.zeros(6)
+        chunks = [
+            DataChunk(
+                1, "x", PHASE_REQUEST, 0, 1, 4, 7,
+                np.array([40.0, 50.0, 60.0]).tobytes(),
+            ),
+            DataChunk(
+                1, "x", PHASE_REQUEST, 1, 1, 7, 10,
+                np.array([70.0, 80.0, 90.0]).tobytes(),
+            ),
+        ]
+        assemble_chunks(chunks, layout, 1, np.dtype(np.float64), out)
+        np.testing.assert_array_equal(out, [40, 50, 60, 70, 80, 90])
+
+    def test_out_of_block_chunk_rejected(self):
+        layout = Layout(((0, 4), (4, 10)))
+        chunk = DataChunk(
+            1, "x", PHASE_REQUEST, 0, 1, 2, 5,
+            np.zeros(3).tobytes(),
+        )
+        with pytest.raises(MarshalError, match="outside"):
+            assemble_chunks(
+                [chunk], layout, 1, np.dtype(np.float64), np.zeros(6)
+            )
+
+    def test_size_mismatch_rejected(self):
+        layout = Layout(((0, 4),))
+        chunk = DataChunk(
+            1, "x", PHASE_REQUEST, 0, 0, 0, 3, b"\0" * 10
+        )
+        with pytest.raises(MarshalError, match="bytes"):
+            assemble_chunks(
+                [chunk], layout, 0, np.dtype(np.float64), np.zeros(4)
+            )

@@ -1,0 +1,136 @@
+"""Randomized stress tests for the message-passing substrate.
+
+Hypothesis generates traffic patterns (who sends what to whom with
+which tag); the test executes them on a live thread group and checks
+every message arrives exactly once, at the right rank, with the right
+payload — under arbitrary interleavings of the sending threads.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rts import ANY_SOURCE, ANY_TAG, SUM, spmd_run
+
+
+@st.composite
+def traffic_patterns(draw):
+    nranks = draw(st.integers(2, 5))
+    nmessages = draw(st.integers(1, 25))
+    messages = [
+        (
+            draw(st.integers(0, nranks - 1)),  # src
+            draw(st.integers(0, nranks - 1)),  # dst
+            draw(st.integers(0, 7)),  # tag
+            draw(st.integers(-(10**6), 10**6)),  # payload
+        )
+        for _ in range(nmessages)
+    ]
+    return nranks, messages
+
+
+class TestRandomTraffic:
+    @given(traffic_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_every_message_arrives_exactly_once(self, pattern):
+        nranks, messages = pattern
+
+        def body(ctx):
+            for src, dst, tag, payload in messages:
+                if src == ctx.rank:
+                    ctx.comm.send((src, tag, payload), dest=dst, tag=tag)
+            received = []
+            expected = sum(1 for _s, d, _t, _p in messages if d == ctx.rank)
+            for _ in range(expected):
+                received.append(ctx.comm.recv(ANY_SOURCE, ANY_TAG))
+            return sorted(received)
+
+        results = spmd_run(nranks, body)
+        for rank, received in enumerate(results):
+            expected = sorted(
+                (src, tag, payload)
+                for src, dst, tag, payload in messages
+                if dst == rank
+            )
+            assert received == expected
+
+    @given(traffic_patterns())
+    @settings(max_examples=25, deadline=None)
+    def test_tagged_receives_match_only_their_tag(self, pattern):
+        nranks, messages = pattern
+
+        def body(ctx):
+            for src, dst, tag, payload in messages:
+                if src == ctx.rank:
+                    ctx.comm.send(payload, dest=dst, tag=tag)
+            out = {}
+            for tag in range(8):
+                count = sum(
+                    1
+                    for _s, dst, t, _p in messages
+                    if dst == ctx.rank and t == tag
+                )
+                got = sorted(
+                    ctx.comm.recv(tag=tag) for _ in range(count)
+                )
+                if got:
+                    out[tag] = got
+            return out
+
+        results = spmd_run(nranks, body)
+        for rank, by_tag in enumerate(results):
+            for tag, got in by_tag.items():
+                expected = sorted(
+                    payload
+                    for _s, dst, t, payload in messages
+                    if dst == rank and t == tag
+                )
+                assert got == expected
+
+    @given(
+        nranks=st.integers(2, 6),
+        rounds=st.integers(1, 15),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_collectives_and_p2p(self, nranks, rounds, seed):
+        """Collectives and point-to-point traffic interleave freely
+        without cross-matching."""
+        rng = np.random.default_rng(seed)
+        plan = [
+            (int(rng.integers(0, 3)), int(rng.integers(0, nranks)))
+            for _ in range(rounds)
+        ]
+
+        def body(ctx):
+            totals = []
+            for op, shift in plan:
+                if op == 0:
+                    totals.append(ctx.comm.allreduce(ctx.rank, op=SUM))
+                elif op == 1:
+                    # Ring exchange: rank r sends to r+shift (a
+                    # bijection).  Receive by explicit source so
+                    # rounds with different shifts cannot steal each
+                    # other's messages.
+                    dest = (ctx.rank + shift) % ctx.size
+                    src = (ctx.rank - shift) % ctx.size
+                    ctx.comm.send(ctx.rank * 100, dest=dest, tag=5)
+                    totals.append(ctx.comm.recv(source=src, tag=5))
+                else:
+                    totals.append(
+                        ctx.comm.bcast(
+                            "x" * shift if ctx.rank == 0 else None, 0
+                        )
+                    )
+            return totals
+
+        results = spmd_run(nranks, body)
+        ranksum = nranks * (nranks - 1) // 2
+        for step, (op, shift) in enumerate(plan):
+            if op == 0:
+                assert all(r[step] == ranksum for r in results)
+            elif op == 1:
+                got = sorted(r[step] for r in results)
+                assert got == [r * 100 for r in range(nranks)]
+            else:
+                assert all(r[step] == "x" * shift for r in results)

@@ -1,0 +1,189 @@
+"""Tests for the one-sided RTS interface (the paper's future-work
+alternative to message passing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import (
+    BlockTemplate,
+    DistributedSequence,
+    Layout,
+    Proportions,
+    transfer_schedule,
+)
+from repro.rts import OneSidedRTS, Window, WindowError, spmd_run
+from repro.rts.onesided import remote_element
+
+
+class TestWindow:
+    def test_get_reads_remote_memory(self):
+        def body(ctx):
+            local = np.full(4, float(ctx.rank))
+            window = Window.create(ctx.comm, local)
+            window.fence()
+            # Every rank reads rank 2's buffer without rank 2 acting.
+            value = window.get(2, 0, 4)
+            window.fence()
+            return value.tolist()
+
+        assert spmd_run(3, body) == [[2.0] * 4] * 3
+
+    def test_put_writes_remote_memory(self):
+        def body(ctx):
+            local = np.zeros(3)
+            window = Window.create(ctx.comm, local)
+            window.fence()
+            if ctx.rank == 0:
+                for target in range(ctx.size):
+                    window.put(target, 1, np.array([7.0]))
+            window.fence()
+            return local.tolist()
+
+        assert spmd_run(3, body) == [[0.0, 7.0, 0.0]] * 3
+
+    def test_accumulate_is_atomic_sum(self):
+        def body(ctx):
+            local = np.zeros(1)
+            window = Window.create(ctx.comm, local)
+            window.fence()
+            # Everyone accumulates into rank 0 concurrently.
+            window.accumulate(0, 0, np.array([1.0]))
+            window.fence()
+            return local[0]
+
+        results = spmd_run(8, body)
+        assert results[0] == 8.0
+
+    def test_get_is_a_copy(self):
+        def body(ctx):
+            local = np.arange(2, dtype=np.float64)
+            window = Window.create(ctx.comm, local)
+            window.fence()
+            snapshot = window.get(0, 0, 2)
+            snapshot[:] = -1
+            window.fence()
+            return local.tolist()
+
+        assert spmd_run(2, body)[0] == [0.0, 1.0]
+
+    def test_range_checking(self):
+        def body(ctx):
+            window = Window.create(ctx.comm, np.zeros(4))
+            window.fence()
+            with pytest.raises(WindowError):
+                window.get(0, 2, 5)
+            with pytest.raises(WindowError):
+                window.put(0, -1, np.zeros(1))
+            with pytest.raises(WindowError):
+                window.get(9, 0, 1)
+            window.fence()
+            return True
+
+        assert all(spmd_run(2, body))
+
+    def test_window_requires_1d(self):
+        def body(ctx):
+            with pytest.raises(WindowError):
+                Window.create(ctx.comm, np.zeros((2, 2)))
+            return True
+
+        # Shape validation happens before any collective step, so all
+        # ranks observe the error and the group survives.
+        assert all(spmd_run(2, body))
+
+
+class TestOneSidedRTS:
+    def test_gather_matches_message_passing(self):
+        layout = Proportions(1, 3, 2).layout(12)
+        data = np.arange(12, dtype=np.float64)
+        steps = transfer_schedule(layout, Layout(((0, 12),)))
+
+        def body(ctx):
+            rts = OneSidedRTS(ctx.comm)
+            lo, hi = layout.local_range(ctx.rank)
+            return rts.gather_chunks(data[lo:hi].copy(), steps, 0, None)
+
+        results = spmd_run(3, body)
+        np.testing.assert_array_equal(results[0], data)
+        assert results[1] is None
+
+    def test_scatter_matches_message_passing(self):
+        layout = BlockTemplate(4).layout(10)
+        data = np.arange(10, dtype=np.float64)
+        steps = transfer_schedule(Layout(((0, 10),)), layout)
+
+        def body(ctx):
+            rts = OneSidedRTS(ctx.comm)
+            out = np.zeros(layout.local_length(ctx.rank))
+            rts.scatter_chunks(
+                data if ctx.rank == 0 else None, steps, 0, out
+            )
+            return out
+
+        blocks = spmd_run(4, body)
+        np.testing.assert_array_equal(np.concatenate(blocks), data)
+
+    def test_broadcast_and_sync(self):
+        def body(ctx):
+            rts = OneSidedRTS(ctx.comm)
+            rts.synchronize()
+            return rts.broadcast(ctx.rank if ctx.rank == 1 else None, 1)
+
+        assert spmd_run(3, body) == [1, 1, 1]
+
+    @given(
+        nranks=st.integers(1, 5),
+        weights=st.lists(st.integers(0, 7), min_size=1, max_size=5).filter(
+            lambda w: any(w)
+        ),
+        length=st.integers(0, 80),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_gather_scatter_roundtrip(self, nranks, weights, length):
+        weights = (weights * nranks)[:nranks]
+        if not any(weights):
+            weights[0] = 1
+        layout = Proportions(*weights).layout(length)
+        data = np.arange(length, dtype=np.float64)
+        gather_steps = transfer_schedule(layout, Layout(((0, length),)))
+        scatter_steps = transfer_schedule(Layout(((0, length),)), layout)
+
+        def body(ctx):
+            rts = OneSidedRTS(ctx.comm)
+            lo, hi = layout.local_range(ctx.rank)
+            gathered = rts.gather_chunks(
+                data[lo:hi].copy(), gather_steps, 0, None
+            )
+            out = np.zeros(layout.local_length(ctx.rank))
+            rts.scatter_chunks(
+                data if ctx.rank == 0 else None, scatter_steps, 0, out
+            )
+            np.testing.assert_array_equal(out, data[lo:hi])
+            return gathered
+
+        results = spmd_run(nranks, body)
+        np.testing.assert_array_equal(
+            results[0] if length else [], data
+        )
+
+
+class TestAsynchronousSequenceAccess:
+    def test_remote_element_without_collective(self):
+        """The capability the paper's message-passing mapping lacked:
+        reading an arbitrary element without all threads calling."""
+
+        def body(ctx):
+            seq = DistributedSequence.from_global(
+                np.arange(10, dtype=np.float64) * 10, comm=ctx.comm
+            )
+            window = Window.create(ctx.comm, seq.local_data())
+            window.fence()
+            # Each rank reads a *different* element — impossible with
+            # the collective __getitem__.
+            value = remote_element(seq, (ctx.rank * 3) % 10, window)
+            window.fence()
+            return value
+
+        assert spmd_run(4, body) == [0.0, 30.0, 60.0, 90.0]

@@ -1,0 +1,65 @@
+"""Unit tests for the concurrent-client contention model."""
+
+import pytest
+
+from repro.simnet import (
+    paper_testbed,
+    simulate_centralized,
+    simulate_concurrent,
+    simulate_multiport,
+)
+from repro.simnet.calibration import PAPER_SEQUENCE_BYTES
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return paper_testbed()
+
+
+class TestConcurrentModel:
+    def test_rejects_bad_inputs(self, cfg):
+        with pytest.raises(ValueError, match="unknown method"):
+            simulate_concurrent(cfg, "postal", 1, 1, 1, 800)
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_concurrent(cfg, "multiport", 0, 1, 1, 800)
+
+    def test_single_burst_matches_solo(self, cfg):
+        burst = simulate_concurrent(
+            cfg, "centralized", 1, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        solo = simulate_centralized(cfg, 4, 8, PAPER_SEQUENCE_BYTES)
+        assert burst.makespan == pytest.approx(solo.t_inv, rel=0.02)
+        mp_burst = simulate_concurrent(
+            cfg, "multiport", 1, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        mp_solo = simulate_multiport(cfg, 4, 8, PAPER_SEQUENCE_BYTES)
+        assert mp_burst.makespan == pytest.approx(mp_solo.t_inv, rel=0.05)
+
+    def test_makespan_grows_sublinearly(self, cfg):
+        """Pipelining: k requests take far less than k times one."""
+        for method in ("centralized", "multiport"):
+            one = simulate_concurrent(
+                cfg, method, 1, 4, 8, PAPER_SEQUENCE_BYTES
+            ).makespan
+            four = simulate_concurrent(
+                cfg, method, 4, 4, 8, PAPER_SEQUENCE_BYTES
+            ).makespan
+            assert one < four < 4 * one
+
+    def test_mean_latency_at_most_makespan(self, cfg):
+        result = simulate_concurrent(
+            cfg, "multiport", 4, 4, 8, PAPER_SEQUENCE_BYTES
+        )
+        assert result.mean_latency <= result.makespan
+
+    def test_aggregate_bandwidth_bounded_by_link(self, cfg):
+        for k in (1, 2, 8):
+            result = simulate_concurrent(
+                cfg, "multiport", k, 4, 8, PAPER_SEQUENCE_BYTES
+            )
+            assert result.aggregate_bandwidth <= cfg.link_bandwidth
+
+    def test_deterministic(self, cfg):
+        a = simulate_concurrent(cfg, "multiport", 3, 2, 4, 10**6)
+        b = simulate_concurrent(cfg, "multiport", 3, 2, 4, 10**6)
+        assert a == b

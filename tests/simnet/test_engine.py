@@ -1,0 +1,198 @@
+"""Discrete-event engine unit tests."""
+
+import pytest
+
+from repro.simnet.engine import (
+    SimulationError,
+    Simulator,
+)
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        assert sim.run() == 7.5
+        assert log == [5.0, 7.5]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_timeout_value_passthrough(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, "payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        assert sim.run(until=4.0) == 4.0
+        assert sim.run() == 10.0
+
+
+class TestEvents:
+    def test_manual_event(self):
+        sim = Simulator()
+        gate = sim.event("manual")
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((sim.now, value))
+
+        def firer():
+            yield sim.timeout(3.0)
+            gate.succeed("go")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert log == [(3.0, "go")]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [1]
+
+    def test_process_result_is_event_value(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(2.0)
+            return 42
+
+        results = []
+
+        def outer():
+            value = yield sim.process(inner())
+            results.append(value)
+
+        sim.process(outer())
+        sim.run()
+        assert results == [42]
+
+    def test_process_error_is_reported(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="boom"):
+            sim.run()
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="not an Event"):
+            sim.run()
+
+
+class TestAllOfAndGate:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        times = []
+
+        def waiter():
+            yield sim.all_of(
+                [sim.timeout(1.0), sim.timeout(5.0), sim.timeout(3.0)]
+            )
+            times.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert times == [5.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        done = []
+
+        def waiter():
+            yield sim.all_of([])
+            done.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [0.0]
+
+    def test_gate_counts_arrivals(self):
+        sim = Simulator()
+        gate = sim.gate(3)
+        released = []
+
+        def arriver(delay):
+            yield sim.timeout(delay)
+            gate.arrive()
+
+        def waiter():
+            yield gate
+            released.append(sim.now)
+
+        for delay in (1.0, 4.0, 2.0):
+            sim.process(arriver(delay))
+        sim.process(waiter())
+        sim.run()
+        assert released == [4.0]
+        assert gate.arrival_times == [1.0, 2.0, 4.0]
+
+    def test_gate_zero_preopen(self):
+        sim = Simulator()
+        gate = sim.gate(0)
+        assert gate.triggered
+
+    def test_gate_over_arrival_rejected(self):
+        sim = Simulator()
+        gate = sim.gate(1)
+        gate.arrive()
+        with pytest.raises(SimulationError, match="over-arrived"):
+            gate.arrive()

@@ -1,0 +1,84 @@
+"""Meta tests on the library's public surface: documentation coverage
+and import hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.cdr",
+    "repro.core",
+    "repro.dist",
+    "repro.idl",
+    "repro.orb",
+    "repro.rts",
+    "repro.simnet",
+    "repro.bench",
+]
+
+
+def iter_modules():
+    for name in SUBPACKAGES:
+        package = importlib.import_module(name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            yield importlib.import_module(f"{name}.{info.name}")
+
+
+class TestDocumentation:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [
+            m.__name__ for m in iter_modules() if not m.__doc__
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_is_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    def test_every_public_function_is_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+
+class TestExports:
+    def test_top_level_lazy_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None
+
+    def test_top_level_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_dir_covers_all(self):
+        assert set(repro.__all__) <= set(dir(repro))
+
+    def test_subpackage_all_lists_resolve(self):
+        for name in SUBPACKAGES:
+            module = importlib.import_module(name)
+            for export in getattr(module, "__all__", []):
+                assert hasattr(module, export), f"{name}.{export}"
