@@ -16,7 +16,7 @@ import numpy as np
 from repro import ORB, compile_idl
 
 IDL = """
-typedef dsequence<double> temperature_field;
+typedef dsequence<double, 8192> temperature_field;
 
 interface heat_solver {
     // Advance the field `steps` explicit Euler steps with diffusion

@@ -32,7 +32,7 @@ module obs {
     };
 
     typedef sequence<reading> readings;
-    typedef dsequence<double, proportions(1, 2, 1)> spectrum;
+    typedef dsequence<double, 1024, proportions(1, 2, 1)> spectrum;
 
     interface instrument {
         readonly attribute string id;

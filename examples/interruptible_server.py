@@ -17,7 +17,7 @@ import numpy as np
 from repro import ORB, compile_idl
 
 IDL = """
-typedef dsequence<double> vector;
+typedef dsequence<double, 4096> vector;
 
 interface optimizer {
     // Long-running: gradient-descent-style relaxation.

@@ -27,7 +27,7 @@ import numpy as np
 from repro import ORB, compile_idl
 
 IDL = """
-typedef dsequence<double> ensemble;
+typedef dsequence<double, 16384> ensemble;
 
 interface simulation {
     void step(in long nsteps, inout ensemble positions);

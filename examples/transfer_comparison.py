@@ -18,7 +18,7 @@ from repro.bench import figure4, format_figure4
 from repro.orb.transfer import Tracer
 
 IDL = """
-typedef dsequence<double> darray;
+typedef dsequence<double, 2048> darray;
 interface worker {
     void process(inout darray data);
 };

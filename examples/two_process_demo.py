@@ -24,7 +24,7 @@ from repro.orb.socketnet import (
 )
 
 IDL = """
-typedef dsequence<double> samples;
+typedef dsequence<double, 16384> samples;
 
 interface statistics {
     double mean(in samples data);

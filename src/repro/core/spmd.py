@@ -16,6 +16,16 @@ class TransferMethod(enum.Enum):
     def __str__(self) -> str:
         return self.value
 
+    @classmethod
+    def values(cls) -> frozenset[str]:
+        """The valid spellings of a ``transfer=`` argument.
+
+        Shared by the proxy layer and by ``repro.lint``'s
+        transfer-method checks, so the accepted vocabulary has one
+        home.
+        """
+        return frozenset(member.value for member in cls)
+
 
 class SpmdServerGroup(ServantGroup):
     """An activated SPMD object (paper §2).

@@ -33,6 +33,14 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         help="additional #include search directory (repeatable)",
     )
+    cli.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "run the PARDIS IDL lints (repro.lint family A) before "
+            "generating code; any diagnostic aborts the compilation"
+        ),
+    )
     args = cli.parse_args(argv)
 
     with open(args.input, "r", encoding="utf-8") as handle:
@@ -43,6 +51,19 @@ def main(argv: list[str] | None = None) -> int:
             (os.path.dirname(os.path.abspath(args.input)),
              *args.include),
         )
+        if args.lint:
+            from repro.lint import lint_idl_source
+
+            diagnostics = lint_idl_source(source, args.input)
+            for diagnostic in diagnostics:
+                print(diagnostic.render(), file=sys.stderr)
+            if diagnostics:
+                print(
+                    f"{args.input}: {len(diagnostics)} lint "
+                    f"diagnostic(s); no code generated",
+                    file=sys.stderr,
+                )
+                return 1
         text = generate_python(source)
     except IdlError as exc:
         print(f"{args.input}: {exc}", file=sys.stderr)

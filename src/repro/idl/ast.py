@@ -170,6 +170,12 @@ class Interface(Declaration):
 
 
 @dataclass
+class InterfaceForward(Declaration):
+    """``interface name;`` — a CORBA forward declaration, to be
+    completed by a full definition later in the same unit."""
+
+
+@dataclass
 class Module(Declaration):
     body: list[Declaration] = field(default_factory=list)
 

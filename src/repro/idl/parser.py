@@ -8,6 +8,7 @@ Grammar (CORBA IDL subset plus the ``dsequence`` extension)::
     module         : "module" IDENT "{" definition+ "}" ";"
     interface      : "interface" IDENT [":" scoped ("," scoped)*]
                      "{" export* "}" ";"
+                   | "interface" IDENT ";"
     export         : operation | attribute | typedef | struct | enum
                    | exception | const
     operation      : ["oneway"] type_or_void IDENT "(" params? ")"
@@ -174,9 +175,15 @@ class Parser:
             raise self._error(f"module '{node.name}' is empty", start)
         return node
 
-    def _interface(self) -> ast.Interface:
+    def _interface(self) -> ast.Declaration:
         start = self._expect("keyword", "interface")
         name = self._expect_ident("interface")
+        if self._accept("punct", ";"):
+            # Forward declaration: the definition must follow later in
+            # the unit (checked by the semantic pass).
+            return ast.InterfaceForward(
+                name.value, start.line, start.column
+            )
         node = ast.Interface(name.value, start.line, start.column)
         if self._accept("punct", ":"):
             node.bases.append(self._scoped_name())

@@ -250,20 +250,38 @@ class Analyzer:
 
     def __init__(self) -> None:
         self._file_scope = _Scope("", None)
+        #: Forward-declared interfaces awaiting their definition:
+        #: qualified name → line of the (first) forward declaration.
+        self._pending_forward: dict[tuple[str, ...], int] = {}
 
     def analyze(self, spec: ast.Specification) -> CompilationUnit:
         unit = CompilationUnit()
         for decl in spec.body:
-            unit.body.append(self._declaration(decl, self._file_scope))
+            entity = self._declaration(decl, self._file_scope)
+            if entity is not None:
+                unit.body.append(entity)
+        if self._pending_forward:
+            qualified, line = min(
+                self._pending_forward.items(), key=lambda item: item[1]
+            )
+            raise IdlSemanticError(
+                f"forward-declared interface '{'::'.join(qualified)}' "
+                f"is never defined",
+                line,
+            )
         return unit
 
     # -- declarations ---------------------------------------------------------
 
-    def _declaration(self, decl: ast.Declaration, scope: _Scope) -> Entity:
+    def _declaration(
+        self, decl: ast.Declaration, scope: _Scope
+    ) -> Entity | None:
         if isinstance(decl, ast.Module):
             return self._module(decl, scope)
         if isinstance(decl, ast.Interface):
             return self._interface(decl, scope)
+        if isinstance(decl, ast.InterfaceForward):
+            return self._interface_forward(decl, scope)
         if isinstance(decl, ast.Typedef):
             return self._typedef(decl, scope)
         if isinstance(decl, ast.Struct):
@@ -286,19 +304,59 @@ class Analyzer:
         entity._scope = subscope  # type: ignore[attr-defined]
         scope.declare(entity, decl.line)
         for inner in decl.body:
-            entity.body.append(self._declaration(inner, subscope))
+            inner_entity = self._declaration(inner, subscope)
+            if inner_entity is not None:
+                entity.body.append(inner_entity)
         return entity
+
+    def _interface_forward(
+        self, decl: ast.InterfaceForward, scope: _Scope
+    ) -> None:
+        """Register a forward declaration.  The entity enters the scope
+        (so operations may reference it) but joins the unit body only
+        once defined; :meth:`analyze` rejects units that never define
+        it."""
+        existing = scope.entries.get(decl.name)
+        if existing is not None:
+            if isinstance(existing, InterfaceEntity):
+                return None  # re-declaration (before or after definition)
+            raise IdlSemanticError(
+                f"'{decl.name}' is already declared in this scope",
+                decl.line,
+            )
+        qualified = scope.qualified + (decl.name,)
+        repo_id = "IDL:" + "/".join(qualified) + ":1.0"
+        entity = InterfaceEntity(decl.name, qualified, repo_id=repo_id)
+        subscope = _Scope(decl.name, scope)
+        entity._scope = subscope  # type: ignore[attr-defined]
+        entity._defined = False  # type: ignore[attr-defined]
+        scope.declare(entity, decl.line)
+        self._pending_forward.setdefault(qualified, decl.line)
+        return None
 
     def _interface(
         self, decl: ast.Interface, scope: _Scope
     ) -> InterfaceEntity:
         qualified = scope.qualified + (decl.name,)
         repo_id = "IDL:" + "/".join(qualified) + ":1.0"
-        entity = InterfaceEntity(decl.name, qualified, repo_id=repo_id)
-        subscope = _Scope(decl.name, scope)
-        entity._scope = subscope  # type: ignore[attr-defined]
-        # Declared before the body: operations may take self-references.
-        scope.declare(entity, decl.line)
+        forward = scope.entries.get(decl.name)
+        if (
+            isinstance(forward, InterfaceEntity)
+            and not getattr(forward, "_defined", True)
+        ):
+            # Completing an earlier forward declaration: reuse the
+            # entity so references resolved meanwhile stay valid.
+            entity = forward
+            entity._defined = True  # type: ignore[attr-defined]
+            subscope = entity._scope  # type: ignore[attr-defined]
+            self._pending_forward.pop(qualified, None)
+        else:
+            entity = InterfaceEntity(decl.name, qualified, repo_id=repo_id)
+            subscope = _Scope(decl.name, scope)
+            entity._scope = subscope  # type: ignore[attr-defined]
+            # Declared before the body: operations may take
+            # self-references.
+            scope.declare(entity, decl.line)
 
         for base_ref in decl.bases:
             base = scope.lookup(base_ref.parts)

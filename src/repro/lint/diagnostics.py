@@ -1,0 +1,88 @@
+"""Diagnostic records and rendering for ``repro.lint``.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a source
+location, a human message and a fix-hint.  The CLI renders lists of
+them as text or JSON; both forms carry the same fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Ranked severities; anything reported fails the lint run.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, pinned to a source location."""
+
+    rule: str  # 'PD101'
+    name: str  # 'unbounded-dsequence'
+    severity: str  # 'error' | 'warning'
+    file: str
+    line: int
+    message: str
+    hint: str = ""
+    column: int = field(default=0, compare=False)
+
+    def shifted(self, line_offset: int) -> "Diagnostic":
+        """The same diagnostic ``line_offset`` lines further down —
+        used to map embedded-IDL positions onto the host file."""
+        if not line_offset:
+            return self
+        return Diagnostic(
+            rule=self.rule,
+            name=self.name,
+            severity=self.severity,
+            file=self.file,
+            line=self.line + line_offset,
+            message=self.message,
+            hint=self.hint,
+            column=self.column,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = (
+            f"{self.file}:{self.line}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    return (diagnostic.file, diagnostic.line, diagnostic.rule)
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    lines = [d.render() for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = len(diagnostics) - errors
+    lines.append(
+        f"{len(diagnostics)} diagnostic(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+        if diagnostics
+        else "clean: no diagnostics"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    return json.dumps(
+        [d.to_dict() for d in diagnostics], indent=2, sort_keys=False
+    )

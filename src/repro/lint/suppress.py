@@ -1,0 +1,58 @@
+"""Inline suppression comments: ``# pardis-lint: disable=PD101``.
+
+A trailing suppression comment silences matching diagnostics on its
+own line; a comment alone on a line silences the next line.  Tokens
+may be rule ids, rule names, or ``all``, separated by commas.  The
+``//`` comment form is recognised too so the same syntax works inside
+IDL source.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lint.rules import resolve_rule
+
+_DIRECTIVE = re.compile(
+    r"(?:#|//)\s*pardis-lint:\s*disable=([A-Za-z0-9_,\s-]+)"
+)
+
+
+def _tokens(raw: str) -> frozenset[str]:
+    """Normalise a directive's token list to rule ids (or 'all')."""
+    resolved: set[str] = set()
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() == "all":
+            resolved.add("all")
+            continue
+        rule = resolve_rule(token)
+        resolved.add(rule.id if rule else token.upper())
+    return frozenset(resolved)
+
+
+def suppression_map(source: str) -> dict[int, frozenset[str]]:
+    """1-based line → set of suppressed rule ids for ``source``."""
+    suppressed: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if not match:
+            continue
+        rules = _tokens(match.group(1))
+        if not rules:
+            continue
+        before = text[: match.start()].strip()
+        # A standalone comment line guards the line below it; a
+        # trailing comment guards its own line.
+        target = lineno + 1 if before in ("", "#", "//") else lineno
+        suppressed[target] = suppressed.get(target, frozenset()) | rules
+    return suppressed
+
+
+def is_suppressed(
+    suppressed: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    rules = suppressed.get(line)
+    return bool(rules) and ("all" in rules or rule_id in rules)

@@ -1,0 +1,60 @@
+"""Forward-declared interfaces: ``interface name;``."""
+
+import pytest
+
+from repro.idl.compiler import analyze_idl, compile_idl
+from repro.idl.errors import IdlSemanticError
+
+
+def test_forward_then_definition_compiles():
+    compiled = compile_idl(
+        "interface cb;\n"
+        "interface registry {\n"
+        "  void subscribe(in cb listener);\n"
+        "};\n"
+        "interface cb {\n"
+        "  oneway void notify(in long event);\n"
+        "};\n"
+    )
+    assert hasattr(compiled.module, "registry")
+    assert hasattr(compiled.module, "cb")
+
+
+def test_undefined_forward_is_a_semantic_error():
+    with pytest.raises(IdlSemanticError) as err:
+        analyze_idl("interface ghost;\n")
+    assert "ghost" in str(err.value)
+    assert "never defined" in str(err.value)
+    assert err.value.line == 1
+
+
+def test_repeated_forward_declarations_are_legal():
+    unit = analyze_idl(
+        "interface node;\n"
+        "interface node;\n"
+        "interface node { void visit(); };\n"
+    )
+    assert [e.name for e in unit.body] == ["node"]
+
+
+def test_forward_after_definition_is_legal():
+    unit = analyze_idl(
+        "interface node { void visit(); };\n"
+        "interface node;\n"
+    )
+    assert [e.name for e in unit.body] == ["node"]
+
+
+def test_forward_clashing_with_other_kind_is_rejected():
+    with pytest.raises(IdlSemanticError):
+        analyze_idl("typedef long node;\ninterface node;\n")
+
+
+def test_earliest_unresolved_forward_is_reported():
+    with pytest.raises(IdlSemanticError) as err:
+        analyze_idl(
+            "interface first;\n"
+            "interface second;\n"
+        )
+    assert "first" in str(err.value)
+    assert err.value.line == 1

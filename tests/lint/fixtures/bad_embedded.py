@@ -1,0 +1,15 @@
+"""Fixture: embedded IDL with a violation (offset mapping)."""
+
+from repro.idl.compiler import compile_idl
+
+IDL = """
+typedef dsequence<double> stream;
+
+interface feed {
+  void consume(in stream s);
+};
+"""
+
+
+def build():
+    return compile_idl(IDL, module_name="lint_bad_embedded")

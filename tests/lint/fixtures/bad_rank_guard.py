@@ -1,0 +1,9 @@
+"""Fixture: a collective bind guarded by a rank test (PD201)."""
+
+
+def connect(proxy_cls, runtime, rank):
+    if rank == 0:
+        proxy = proxy_cls._spmd_bind("solver", runtime)
+    else:
+        proxy = None
+    return proxy

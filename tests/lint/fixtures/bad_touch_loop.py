@@ -1,0 +1,9 @@
+"""Fixture: touching futures inside the issue loop (PD203)."""
+
+
+def gather(proxy, size, chunks):
+    results = []
+    for rank in range(size):
+        future = proxy.solve_nb(chunks[rank])
+        results.append(future.touch())
+    return results

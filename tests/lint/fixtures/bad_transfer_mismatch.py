@@ -1,0 +1,6 @@
+"""Fixture: multiport bind against a centralized-only server (PD204)."""
+
+
+def serve_and_bind(orb, proxy_cls, runtime, factory):
+    orb.serve("grid", factory, nthreads=4, multiport=False)
+    return proxy_cls._spmd_bind("grid", runtime, transfer="multiport")

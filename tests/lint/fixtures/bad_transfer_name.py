@@ -1,0 +1,5 @@
+"""Fixture: a transfer method that does not exist (PD205)."""
+
+
+def connect(proxy_cls, runtime):
+    return proxy_cls._spmd_bind("grid", runtime, transfer="broadcast")

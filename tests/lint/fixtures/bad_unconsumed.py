@@ -1,0 +1,10 @@
+"""Fixture: futures dropped on the floor (PD202)."""
+
+
+def fire_and_forget(proxy, data):
+    proxy.solve_nb(data)
+
+
+def assigned_but_ignored(proxy, data):
+    future = proxy.solve_nb(data)
+    return None

@@ -1,0 +1,20 @@
+"""Fixture: a well-formed SPMD client (lints clean)."""
+
+from repro.idl.compiler import compile_idl
+
+IDL = """
+typedef dsequence<double, 128> slab;
+
+interface worker {
+  double reduce(in slab data);
+};
+"""
+
+
+def main(proxy_cls, runtime, chunks):
+    compile_idl(IDL, module_name="lint_good_idl")
+    proxy = proxy_cls._spmd_bind(
+        "worker", runtime, transfer="centralized"
+    )
+    futures = [proxy.reduce_nb(chunk) for chunk in chunks]
+    return [future.touch() for future in futures]

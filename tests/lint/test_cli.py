@@ -1,0 +1,135 @@
+"""The lint CLI: formats, filters, exit codes, and the compiler's
+``--lint`` flag."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def run_lint(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_clean_input_exits_zero():
+    result = run_lint(str(FIXTURES / "good.idl"))
+    assert result.returncode == 0
+    assert "clean" in result.stdout
+
+
+def test_findings_exit_one_with_location_in_text_output():
+    result = run_lint(str(FIXTURES / "bad_unbounded.idl"))
+    assert result.returncode == 1
+    assert "bad_unbounded.idl:4: PD101" in result.stdout
+    assert "hint:" in result.stdout
+
+
+def test_json_output_carries_the_same_fields():
+    result = run_lint(
+        str(FIXTURES / "bad_oneway.idl"), "--format", "json"
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    [diag] = payload
+    assert diag["rule"] == "PD107"
+    assert diag["line"] == 2
+    assert diag["severity"] == "error"
+    assert diag["file"].endswith("bad_oneway.idl")
+    assert diag["hint"]
+
+
+def test_directory_walk_finds_both_families():
+    result = run_lint(str(FIXTURES), "--format", "json")
+    assert result.returncode == 1
+    rules = {d["rule"] for d in json.loads(result.stdout)}
+    assert {"PD101", "PD201"} <= rules
+
+
+def test_select_restricts_to_named_rules():
+    result = run_lint(
+        str(FIXTURES), "--select", "PD204", "--format", "json"
+    )
+    payload = json.loads(result.stdout)
+    assert payload and all(
+        d["rule"] == "PD204" for d in payload
+    )
+
+
+def test_ignore_drops_named_rules():
+    result = run_lint(
+        str(FIXTURES / "bad_unbounded.idl"),
+        "--ignore",
+        "unbounded-dsequence",
+    )
+    assert result.returncode == 0
+
+
+def test_unknown_rule_is_a_usage_error():
+    result = run_lint(
+        str(FIXTURES / "good.idl"), "--select", "PD999"
+    )
+    assert result.returncode == 2
+
+
+def test_missing_path_is_a_usage_error():
+    result = run_lint(str(FIXTURES / "does_not_exist.idl"))
+    assert result.returncode == 2
+
+
+def test_list_rules_covers_both_families():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("PD101", "PD107", "PD201", "PD205"):
+        assert rule_id in result.stdout
+
+
+def test_idl_compiler_lint_flag_blocks_bad_idl(tmp_path):
+    bad = tmp_path / "bad.idl"
+    bad.write_text(
+        "typedef dsequence<double> d;\n"
+        "interface i { void f(in d x); };\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.idl",
+            str(bad),
+            "--lint",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 1
+    assert "PD101" in result.stderr
+    assert "no code generated" in result.stderr
+    # Without --lint the same file still compiles.
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.idl", str(bad)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 0

@@ -1,0 +1,21 @@
+"""The repository lints itself clean — tier-1 guard.
+
+Every PD rule runs over ``src/`` and ``examples/``; a regression
+that introduces a violation (or a rule that false-positives on the
+existing code) fails here.
+"""
+
+import pathlib
+
+from repro.lint import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_and_examples_lint_clean():
+    diagnostics = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "examples")]
+    )
+    assert diagnostics == [], "\n".join(
+        d.render() for d in diagnostics
+    )

@@ -1,0 +1,135 @@
+"""Family-B rules: collective-correctness checks on SPMD programs,
+plus embedded-IDL delegation."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import lint_file, lint_python_source
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+PY_CASES = [
+    ("bad_rank_guard.py", "PD201", 6, "hoist the collective"),
+    ("bad_unconsumed.py", "PD202", 5, "assign the future"),
+    ("bad_touch_loop.py", "PD203", 8, "issue every request first"),
+    ("bad_transfer_mismatch.py", "PD204", 6, "multiport=True"),
+    ("bad_transfer_name.py", "PD205", 5, "valid transfer methods"),
+]
+
+
+@pytest.mark.parametrize("fixture,rule,line,hint", PY_CASES)
+def test_fixture_violation_is_reported(fixture, rule, line, hint):
+    path = str(FIXTURES / fixture)
+    diagnostics = lint_file(path)
+    matching = [d for d in diagnostics if d.rule == rule]
+    assert matching, (
+        f"{fixture}: expected {rule}, got "
+        f"{[(d.rule, d.line) for d in diagnostics]}"
+    )
+    diag = matching[0]
+    assert diag.line == line
+    assert diag.file == path
+    assert hint in diag.hint
+
+
+def test_good_spmd_fixture_lints_clean():
+    assert lint_file(str(FIXTURES / "good_spmd.py")) == []
+
+
+def test_assigned_never_consumed_future_is_reported():
+    diagnostics = lint_file(str(FIXTURES / "bad_unconsumed.py"))
+    lines = [d.line for d in diagnostics if d.rule == "PD202"]
+    assert lines == [5, 9]
+
+
+def test_python_syntax_error_is_pd200():
+    diagnostics = lint_python_source("def broken(:\n", "x.py")
+    [diag] = diagnostics
+    assert diag.rule == "PD200"
+    assert diag.severity == "error"
+
+
+def test_embedded_idl_lines_map_to_host_file():
+    path = str(FIXTURES / "bad_embedded.py")
+    diagnostics = lint_file(path)
+    [diag] = [d for d in diagnostics if d.rule == "PD101"]
+    # IDL literal opens on line 5; 'void consume' is IDL line 5,
+    # so the host line is 5 + (5 - 1) = 9.
+    assert diag.line == 9
+    assert diag.file == path
+
+
+def test_collective_outside_guard_is_clean():
+    source = (
+        "def connect(proxy_cls, runtime, rank):\n"
+        "    proxy = proxy_cls._spmd_bind('solver', runtime)\n"
+        "    if rank == 0:\n"
+        "        print('bound')\n"
+        "    return proxy\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_rank_guard_around_noncollective_is_clean():
+    source = (
+        "def announce(comm, rank, value):\n"
+        "    if rank == 0:\n"
+        "        comm.send(value, 1)\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_nested_function_resets_rank_guard():
+    source = (
+        "def make(proxy_cls, runtime, rank):\n"
+        "    if rank == 0:\n"
+        "        def later():\n"
+        "            return proxy_cls._spmd_bind('s', runtime)\n"
+        "        return later\n"
+        "    return None\n"
+    )
+    assert [
+        d
+        for d in lint_python_source(source)
+        if d.rule == "PD201"
+    ] == []
+
+
+def test_while_rank_guard_is_detected():
+    source = (
+        "def spin(obj, rank):\n"
+        "    while rank != 0:\n"
+        "        obj.invoke_all('step')\n"
+    )
+    assert any(
+        d.rule == "PD201" for d in lint_python_source(source)
+    )
+
+
+def test_event_wait_is_not_touch_in_rank_loop():
+    source = (
+        "def pause(events, size):\n"
+        "    for i in range(size):\n"
+        "        events[i].wait()\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_dynamic_transfer_value_is_not_checked():
+    source = (
+        "def connect(proxy_cls, runtime, method):\n"
+        "    return proxy_cls._spmd_bind(\n"
+        "        'grid', runtime, transfer=method)\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_matching_transfer_and_registration_is_clean():
+    source = (
+        "def go(orb, proxy_cls, runtime, factory):\n"
+        "    orb.serve('grid', factory, multiport=True)\n"
+        "    return proxy_cls._spmd_bind(\n"
+        "        'grid', runtime, transfer='multiport')\n"
+    )
+    assert lint_python_source(source) == []

@@ -1,0 +1,55 @@
+"""Inline suppression: ``# pardis-lint: disable=<rule>``."""
+
+from repro.lint import lint_idl_source, lint_python_source
+from repro.lint.suppress import is_suppressed, suppression_map
+
+
+def test_trailing_comment_suppresses_its_own_line():
+    source = (
+        "typedef dsequence<double> d;\n"
+        "interface i { void f(in d x); }; "
+        "// pardis-lint: disable=PD101\n"
+    )
+    assert lint_idl_source(source) == []
+
+
+def test_standalone_comment_suppresses_next_line():
+    source = (
+        "def fire(proxy, data):\n"
+        "    # pardis-lint: disable=unconsumed-future\n"
+        "    proxy.solve_nb(data)\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_rule_names_and_ids_are_interchangeable():
+    by_id = suppression_map("# pardis-lint: disable=PD202\nx = 1\n")
+    by_name = suppression_map(
+        "# pardis-lint: disable=unconsumed-future\nx = 1\n"
+    )
+    assert by_id == by_name == {2: frozenset({"PD202"})}
+
+
+def test_disable_all_suppresses_everything():
+    source = (
+        "def fire(proxy, data):\n"
+        "    proxy.solve_nb(data)  # pardis-lint: disable=all\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_unrelated_rule_does_not_suppress():
+    source = (
+        "def fire(proxy, data):\n"
+        "    proxy.solve_nb(data)  # pardis-lint: disable=PD203\n"
+    )
+    assert any(
+        d.rule == "PD202" for d in lint_python_source(source)
+    )
+
+
+def test_is_suppressed_matches_line_and_rule():
+    suppressed = {4: frozenset({"PD101"})}
+    assert is_suppressed(suppressed, 4, "PD101")
+    assert not is_suppressed(suppressed, 4, "PD102")
+    assert not is_suppressed(suppressed, 5, "PD101")
