@@ -1,0 +1,62 @@
+"""Wire-path roundtrip benchmark — the *real* pipeline, not simnet.
+
+Runs the echo microbenchmark over both fabrics at the CI smoke sizes,
+prints the bandwidth/copy table, and gates the zero-copy invariant:
+bytes copied per payload byte must stay within the checked-in budget
+(see ``tools/bench_wirepath.py`` and ``docs/performance.md``).
+"""
+
+import pytest
+
+from repro.bench.wirepath import (
+    SMOKE_SIZES,
+    format_wirepath,
+    run_wirepath,
+)
+
+from conftest import register_table
+
+_SMALL_LIMIT = 64 * 1024
+#: Mirrors tools/bench_wirepath.py THRESHOLDS.
+_BUDGET = {"small": 8.0, "large": 3.0}
+
+
+@pytest.fixture(scope="module")
+def wirepath_points():
+    points = run_wirepath("inproc", SMOKE_SIZES, iterations=3)
+    points += run_wirepath("socket", SMOKE_SIZES, iterations=3)
+    register_table(format_wirepath(points))
+    return points
+
+
+def test_every_point_measures_bandwidth(wirepath_points):
+    assert len(wirepath_points) == 2 * len(SMOKE_SIZES)
+    for point in wirepath_points:
+        assert point.mb_per_s > 0
+        assert point.seconds > 0
+
+
+def test_copy_budget_holds(wirepath_points):
+    """The zero-copy figure of merit: copies per payload byte."""
+    for point in wirepath_points:
+        limit = (
+            _BUDGET["small"]
+            if point.size_bytes < _SMALL_LIMIT
+            else _BUDGET["large"]
+        )
+        assert point.copies_per_payload_byte <= limit, (
+            f"{point.fabric} @ {point.size_bytes}B copies "
+            f"{point.copies_per_payload_byte:.2f} bytes/payload byte, "
+            f"budget is {limit}"
+        )
+
+
+def test_large_payloads_approach_two_copies(wirepath_points):
+    """At payload-dominated sizes the pipeline should do ~1 copy per
+    direction (receive landing + destination store), i.e. ~2 total."""
+    large = [
+        p for p in wirepath_points if p.size_bytes >= _SMALL_LIMIT
+    ]
+    assert large, "smoke sweep must include a payload-dominated size"
+    for point in large:
+        assert point.copies_per_payload_byte < 3.0

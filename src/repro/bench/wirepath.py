@@ -1,0 +1,196 @@
+"""Wire-path microbenchmark: functional-plane roundtrip bandwidth.
+
+Unlike the :mod:`repro.simnet` tables (simulated 1997 hardware), this
+benchmark times the *real* marshaling and transport pipeline of this
+reproduction: a serial client invokes ``roundtrip(in payload)`` on a
+serial servant, so every measured byte crosses the full CDR → message
+→ fabric → decode path twice (request and reply).
+
+Two fabrics are measured with the identical Port contract:
+
+- ``inproc`` — the in-process :class:`~repro.orb.transport.Fabric`;
+- ``socket`` — two :class:`~repro.orb.socketnet.SocketFabric`
+  instances joined over TCP loopback.
+
+Besides wall-clock MB/s, each point runs under
+:func:`repro.cdr.accounting.copy_audit` and reports **bytes copied
+per payload byte** — the zero-copy pipeline's figure of merit (see
+``docs/performance.md``).  The denominator counts the payload once
+per direction (2 × size × iterations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cdr.accounting import copy_audit
+
+#: The echoed operation; bounded at the sweep's 16 MiB ceiling
+#: (2**21 doubles) so the run-time system can preallocate.
+WIREPATH_IDL = """
+typedef dsequence<double, 2097152> payload;
+
+interface wireecho {
+    payload roundtrip(in payload data);
+};
+"""
+
+#: Default sweep: 1 KiB to 16 MiB (element count = bytes / 8).
+DEFAULT_SIZES = [1 << e for e in range(10, 25, 2)]
+
+#: Small-size subset for CI smoke runs.
+SMOKE_SIZES = [1 << 10, 1 << 14, 1 << 18]
+
+
+@dataclass(frozen=True)
+class WirepathPoint:
+    """One (fabric, size) measurement."""
+
+    fabric: str
+    size_bytes: int
+    iterations: int
+    seconds: float
+    #: Payload megabytes moved per second (both directions count).
+    mb_per_s: float
+    #: Total bytes physically copied during the timed loop.
+    bytes_copied: int
+    #: Copy events during the timed loop.
+    copy_events: int
+    #: bytes_copied / (2 * size_bytes * iterations).
+    copies_per_payload_byte: float
+
+
+def _compiled_idl() -> Any:
+    from repro import compile_idl
+
+    return compile_idl(WIREPATH_IDL, module_name="wirepath_idl")
+
+
+def _make_servant_factory(idl: Any) -> Any:
+    class EchoServant(idl.wireecho_skel):
+        def roundtrip(self, data: Any) -> Any:
+            return data
+
+    return lambda ctx: EchoServant()
+
+
+def _measure(
+    proxy: Any,
+    idl: Any,
+    fabric_label: str,
+    size_bytes: int,
+    iterations: int,
+    warmup: int,
+) -> WirepathPoint:
+    n = max(size_bytes // 8, 1)
+    arr = np.arange(n, dtype=np.float64)
+    data = idl.payload.from_global(arr)
+    for _ in range(warmup):
+        result = proxy.roundtrip(data)
+        if result.length() != n:
+            raise RuntimeError("wirepath echo returned a wrong length")
+    with copy_audit() as account:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            proxy.roundtrip(data)
+        seconds = time.perf_counter() - start
+    moved = 2 * n * 8 * iterations
+    bytes_copied, copy_events = account.snapshot()
+    return WirepathPoint(
+        fabric=fabric_label,
+        size_bytes=n * 8,
+        iterations=iterations,
+        seconds=seconds,
+        mb_per_s=moved / seconds / 1e6,
+        bytes_copied=bytes_copied,
+        copy_events=copy_events,
+        copies_per_payload_byte=bytes_copied / moved,
+    )
+
+
+def run_wirepath(
+    fabric: str = "inproc",
+    sizes: list[int] | None = None,
+    iterations: int = 5,
+    warmup: int = 1,
+) -> list[WirepathPoint]:
+    """Run the sweep on one fabric and return the measured points."""
+    from repro import ORB
+
+    idl = _compiled_idl()
+    sizes = sizes or DEFAULT_SIZES
+    points: list[WirepathPoint] = []
+    if fabric == "inproc":
+        with ORB("wirepath") as orb:
+            orb.serve(
+                "wireecho", _make_servant_factory(idl), nthreads=1
+            )
+            runtime = orb.client_runtime(label="wirepath-client")
+            proxy = idl.wireecho._bind("wireecho", runtime)
+            for size in sizes:
+                points.append(
+                    _measure(
+                        proxy, idl, fabric, size, iterations, warmup
+                    )
+                )
+            runtime.close()
+    elif fabric == "socket":
+        from repro.orb.naming import NamingService
+        from repro.orb.socketnet import SocketFabric
+
+        naming = NamingService()
+        with SocketFabric("wirepath-server") as server_fabric, \
+                SocketFabric("wirepath-client") as client_fabric:
+            server_orb = ORB(
+                "wirepath-server", fabric=server_fabric, naming=naming
+            )
+            client_orb = ORB(
+                "wirepath-client", fabric=client_fabric, naming=naming
+            )
+            with server_orb, client_orb:
+                server_orb.serve(
+                    "wireecho", _make_servant_factory(idl), nthreads=1
+                )
+                runtime = client_orb.client_runtime(
+                    label="wirepath-client"
+                )
+                proxy = idl.wireecho._bind("wireecho", runtime)
+                for size in sizes:
+                    points.append(
+                        _measure(
+                            proxy, idl, fabric, size, iterations, warmup
+                        )
+                    )
+                runtime.close()
+    else:
+        raise ValueError(f"unknown fabric {fabric!r}")
+    return points
+
+
+def points_as_dicts(points: list[WirepathPoint]) -> list[dict]:
+    """The points as JSON-ready dicts (one per fabric × size)."""
+    return [asdict(p) for p in points]
+
+
+def format_wirepath(points: list[WirepathPoint]) -> str:
+    """Render the sweep as a fixed-width table."""
+    lines = [
+        "Wire-path roundtrip (real pipeline, both directions counted)",
+        f"{'fabric':<8} {'size':>10} {'MB/s':>10} "
+        f"{'copies/byte':>12} {'events':>8}",
+    ]
+    for p in points:
+        size = (
+            f"{p.size_bytes // 1024}KiB"
+            if p.size_bytes < 1 << 20
+            else f"{p.size_bytes // (1 << 20)}MiB"
+        )
+        lines.append(
+            f"{p.fabric:<8} {size:>10} {p.mb_per_s:>10.1f} "
+            f"{p.copies_per_payload_byte:>12.2f} {p.copy_events:>8}"
+        )
+    return "\n".join(lines)

@@ -9,9 +9,13 @@ argument marshaling"; this subpackage is that machinery.
 
 Type codes (:mod:`repro.cdr.typecodes`) are runtime descriptions of
 IDL types; the encoder/decoder walk them.  Sequences of fixed-width
-numeric elements take a NumPy fast path (bulk ``tobytes`` /
-``frombuffer``), which is what makes the multi-port method's
-per-thread chunk marshaling cheap.
+numeric elements take a NumPy **zero-copy** path: the encoder appends
+large ndarray payloads by reference as stream segments, and the
+decoder returns read-only ``np.frombuffer`` views into the stream —
+which is what makes both transfer methods' marshaling cheap.  Every
+physical copy the wire path does make is reported to
+:mod:`repro.cdr.accounting`, so benchmarks can audit the pipeline
+(``bytes copied per payload byte``, see ``docs/performance.md``).
 """
 
 from repro.cdr.typecodes import (
@@ -41,9 +45,12 @@ from repro.cdr.typecodes import (
 )
 from repro.cdr.encoder import CdrEncoder, encode_value
 from repro.cdr.decoder import CdrDecoder, decode_value
+from repro.cdr.accounting import CopyAccount, copy_audit
 
 __all__ = [
     "ArrayTC",
+    "CopyAccount",
+    "copy_audit",
     "CdrDecoder",
     "CdrEncoder",
     "DSequenceTC",

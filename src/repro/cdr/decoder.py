@@ -3,6 +3,16 @@
 Reads the byte-order flag octet first, then honours the sender's
 endianness for every primitive — a little-endian client can talk to a
 big-endian server, which is the heterogeneity CORBA's CDR exists for.
+
+The decoder is *zero-copy*: it walks a read-only :class:`memoryview`
+of the stream, :meth:`CdrDecoder.read_octets` returns sub-views, and
+numeric element runs come back as ``np.frombuffer`` **views** into the
+stream (read-only, so a decoded array can never corrupt a reused
+receive buffer).  Copies happen only on the cross-endian path, or when
+the caller opts into mutable results with ``copy_arrays=True`` (the
+mutable-escape path).  A view pins the underlying buffer alive via the
+buffer protocol, so handing views out is safe even for transient
+receive buffers.
 """
 
 from __future__ import annotations
@@ -14,20 +24,31 @@ from typing import Any
 import numpy as np
 
 from repro.cdr import typecodes as tc
+from repro.cdr.accounting import copied
 from repro.cdr.typecodes import MarshalError, TypeCode
 
 _NATIVE_LITTLE = sys.byteorder == "little"
 
 
 class CdrDecoder:
-    """A read-once CDR stream over ``data``."""
+    """A read-once CDR stream over ``data`` (bytes-like).
 
-    def __init__(self, data: bytes) -> None:
-        if not data:
+    ``copy_arrays=True`` returns freshly-copied (writable) arrays for
+    numeric element runs instead of read-only views — use it when the
+    decoded value must outlive the stream's buffer or be mutated in
+    place.
+    """
+
+    def __init__(self, data: Any, *, copy_arrays: bool = False) -> None:
+        view = memoryview(data)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        self._data = view.toreadonly()
+        if len(self._data) == 0:
             raise MarshalError("empty CDR stream")
-        self._data = data
         self._pos = 1
-        self.little_endian = bool(data[0])
+        self.copy_arrays = copy_arrays
+        self.little_endian = bool(self._data[0])
         self._endian_char = "<" if self.little_endian else ">"
 
     @property
@@ -42,7 +63,8 @@ class CdrDecoder:
     def align(self, n: int) -> None:
         self._pos += (-self._pos) % n
 
-    def read_octets(self, n: int) -> bytes:
+    def read_octets(self, n: int) -> memoryview:
+        """The next ``n`` octets as a read-only view (no copy)."""
         if self._pos + n > len(self._data):
             raise MarshalError(
                 f"CDR stream truncated: need {n} octets at offset "
@@ -70,7 +92,8 @@ class CdrDecoder:
         raw = self.read_octets(n)
         if raw[-1] != 0:
             raise MarshalError("string is not NUL-terminated")
-        return raw[:-1].decode("utf-8")
+        copied(n - 1)
+        return bytes(raw[:-1]).decode("utf-8")
 
     def read_boolean(self) -> bool:
         return self.read_octets(1) != b"\0"
@@ -144,7 +167,7 @@ class CdrDecoder:
         if typecode.kind == "boolean":
             return self.read_boolean()
         if typecode.kind == "char":
-            return self.read_octets(1).decode("latin-1")
+            return bytes(self.read_octets(1)).decode("latin-1")
         return self._unpack(typecode.fmt, typecode.size)
 
     def _read_elements(self, element: TypeCode, count: int) -> Any:
@@ -153,15 +176,24 @@ class CdrDecoder:
             if element.kind != "boolean":
                 self.align(element.size)  # type: ignore[attr-defined]
             raw = self.read_octets(count * dtype.itemsize)
-            arr = np.frombuffer(raw, dtype=dtype).copy()
+            arr = np.frombuffer(raw, dtype=dtype)
             if self.little_endian != _NATIVE_LITTLE:
+                # Cross-endian: the one unavoidable copy.
                 arr = arr.byteswap()
-            if element.kind == "boolean":
+                copied(arr.nbytes)
+            elif self.copy_arrays:
+                # Mutable-escape path: the caller asked for a copy it
+                # may write to and keep past the buffer's lifetime.
+                arr = arr.copy()
+                copied(arr.nbytes)
+            if element.kind == "boolean" and arr.dtype != np.bool_:
                 return arr.astype(bool)
             return arr
         return [self.read(element) for _ in range(count)]
 
 
-def decode_value(typecode: TypeCode, data: bytes) -> Any:
+def decode_value(
+    typecode: TypeCode, data: Any, *, copy_arrays: bool = False
+) -> Any:
     """One-shot helper matching :func:`repro.cdr.encoder.encode_value`."""
-    return CdrDecoder(data).read(typecode)
+    return CdrDecoder(data, copy_arrays=copy_arrays).read(typecode)

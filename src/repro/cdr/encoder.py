@@ -7,6 +7,15 @@ ulong ordinals, arrays are bare element runs, structs are member
 concatenations.  The stream's first octet is the byte-order flag
 (0 = big endian, 1 = little endian); this encoder always writes the
 native order and records which.
+
+The stream is *segment-aware*: small writes accumulate in a bytearray
+tail, while large payloads (ndarray element runs, message bodies) are
+appended **by reference** as additional segments — no copy is made and
+``getvalue()``'s flatten can be skipped entirely by handing
+:meth:`CdrEncoder.segments` to a vectored writer
+(``socket.sendmsg``).  The zero-copy contract: a buffer appended by
+reference must not be mutated until the stream has been sent or
+flattened (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -18,9 +27,14 @@ from typing import Any
 import numpy as np
 
 from repro.cdr import typecodes as tc
+from repro.cdr.accounting import copied
 from repro.cdr.typecodes import MarshalError, TypeCode
 
 _NATIVE_LITTLE = sys.byteorder == "little"
+
+#: Payloads below this many bytes are cheaper to copy into the tail
+#: than to carry as separate segments through a vectored write.
+SEGMENT_THRESHOLD = 2048
 
 
 class CdrEncoder:
@@ -35,31 +49,81 @@ class CdrEncoder:
         self.little_endian = (
             _NATIVE_LITTLE if little_endian is None else little_endian
         )
-        self._buf = bytearray()
         self._endian_char = "<" if self.little_endian else ">"
-        self._buf.append(1 if self.little_endian else 0)
+        #: Sealed buffers (bytes / memoryview / bytearray) + open tail.
+        self._segments: list[Any] = []
+        self._tail = bytearray()
+        self._sealed_len = 0
+        self._tail.append(1 if self.little_endian else 0)
 
     def __len__(self) -> int:
-        return len(self._buf)
+        return self._sealed_len + len(self._tail)
+
+    def _seal(self) -> None:
+        """Close the current tail into the segment list."""
+        if self._tail:
+            self._segments.append(self._tail)
+            self._sealed_len += len(self._tail)
+            self._tail = bytearray()
+
+    def segments(self) -> list[Any]:
+        """The stream as a buffer list, in order, without flattening.
+
+        Buffers appended by reference are returned as-is; feed the
+        list to a vectored writer to send the stream without ever
+        joining it.  The encoder remains usable afterwards.
+        """
+        self._seal()
+        return list(self._segments)
 
     def getvalue(self) -> bytes:
-        return bytes(self._buf)
+        """Flatten the stream to one bytes object (copies everything)."""
+        parts = self.segments()
+        if len(parts) == 1 and isinstance(parts[0], bytes):
+            return parts[0]
+        copied(len(self))
+        return b"".join(bytes(p) if not isinstance(p, bytes) else p
+                        for p in parts)
 
     # -- primitives --------------------------------------------------------
 
     def align(self, n: int) -> None:
         """Pad with zero octets to the next multiple of ``n``."""
-        pad = (-len(self._buf)) % n
+        pad = (-len(self)) % n
         if pad:
-            self._buf.extend(b"\0" * pad)
+            self._tail.extend(b"\0" * pad)
 
-    def write_octets(self, data: bytes) -> None:
-        self._buf.extend(data)
+    def write_octets(self, data: Any) -> None:
+        """Append raw octets by copy (into the tail segment)."""
+        copied(len(data))
+        self._tail.extend(data)
+
+    def write_octets_view(self, data: Any) -> None:
+        """Append raw octets **by reference** when large enough.
+
+        Large buffers become their own segment — zero copies now, and
+        none later if the stream is sent vectored.  The caller must
+        not mutate ``data`` until the stream is flattened or sent.
+        Small buffers fall back to :meth:`write_octets`.
+        """
+        if len(data) < SEGMENT_THRESHOLD:
+            self.write_octets(data)
+            return
+        self._seal()
+        self._segments.append(data)
+        self._sealed_len += len(data)
+
+    def append_encoder(self, other: "CdrEncoder") -> None:
+        """Append another encoder's whole stream (flag octet included)
+        by reference — the segment-aware replacement for
+        ``write_octets(other.getvalue())``."""
+        for segment in other.segments():
+            self.write_octets_view(segment)
 
     def _pack(self, fmt: str, size: int, value: Any) -> None:
         self.align(size)
         try:
-            self._buf.extend(struct.pack(self._endian_char + fmt, value))
+            self._tail.extend(struct.pack(self._endian_char + fmt, value))
         except (struct.error, TypeError) as exc:
             raise MarshalError(
                 f"cannot marshal {value!r} as '{fmt}': {exc}"
@@ -80,7 +144,15 @@ class CdrEncoder:
         self.write_octets(raw + b"\0")
 
     def write_boolean(self, value: Any) -> None:
-        self._buf.append(1 if value else 0)
+        if isinstance(value, (bool, np.bool_)):
+            self._tail.append(1 if value else 0)
+            return
+        if isinstance(value, (int, np.integer)) and int(value) in (0, 1):
+            self._tail.append(int(value))
+            return
+        raise MarshalError(
+            f"boolean expects True/False or 0/1, got {value!r}"
+        )
 
     # -- typed values --------------------------------------------------------
 
@@ -127,7 +199,7 @@ class CdrEncoder:
                 value = value.encode("latin-1")
             if not isinstance(value, bytes) or len(value) != 1:
                 raise MarshalError(f"char expects one character, got {value!r}")
-            self._buf.extend(value)
+            self._tail.extend(value)
             return
         typecode.validate(value)
         if isinstance(value, (np.integer, np.floating)):
@@ -137,7 +209,13 @@ class CdrEncoder:
     def _write_elements(
         self, element: TypeCode, values: Any, count: int
     ) -> None:
-        """Element run shared by sequences and arrays."""
+        """Element run shared by sequences and arrays.
+
+        Native-order contiguous ndarrays large enough to matter are
+        appended by reference — the zero-copy fast path the transfer
+        engines rely on.  Cross-endian streams byteswap (one copy);
+        small runs copy into the tail.
+        """
         dtype = element.dtype
         if dtype is not None:
             arr = np.asarray(values, dtype=dtype)
@@ -147,8 +225,13 @@ class CdrEncoder:
                 )
             if element.kind != "boolean":
                 self.align(element.size)  # type: ignore[attr-defined]
-            wire = arr if self._native_order() else arr.byteswap()
-            self.write_octets(wire.tobytes())
+            if not self._native_order():
+                arr = arr.byteswap()
+                copied(arr.nbytes)
+            elif not arr.flags.c_contiguous:
+                arr = np.ascontiguousarray(arr)
+                copied(arr.nbytes)
+            self.write_octets_view(memoryview(arr).cast("B"))
             return
         for value in values:
             self.write(element, value)

@@ -38,6 +38,7 @@ from repro.orb.operation import (
 )
 from repro.orb.reference import ObjectReference
 from repro.orb.request import ReplyMessage, RequestMessage
+from repro.cdr.accounting import copied
 from repro.orb.transfer import (
     ChunkCollector,
     Tracer,
@@ -45,15 +46,17 @@ from repro.orb.transfer import (
     decode_full_body,
     decode_plain_body,
     decompose,
-    encode_full_body,
-    encode_plain_body,
+    detach_plain_values,
     encode_system_exception,
     encode_user_exception,
+    full_body_encoder,
+    plain_body_encoder,
     produced_slots,
     reply_slots,
     request_slots,
     send_chunks,
     server_layout,
+    staging_array,
 )
 from repro.orb.transport import (
     Fabric,
@@ -265,7 +268,7 @@ class _ServerEngine:
             self.ctx.tracer.emit(
                 "net-reply", request.mode, len(reply.body)
             )
-        port.send(request.reply_port, reply.encode(), KIND_REPLY)
+        port.send(request.reply_port, reply.encode_segments(), KIND_REPLY)
 
     def _server_layout_for(
         self, operation: str, param: str, length: int
@@ -320,6 +323,9 @@ class _ServerEngine:
         slots = request_slots(spec)
         if ctx.rank == 0:
             values = decode_full_body(slots, request.body)
+            # Servants may mutate plain arguments; decoder views must
+            # not alias the receive buffer once they escape.
+            detach_plain_values(slots, values)
             plain = {
                 s.name: values[s.name] for s in slots if not s.distributed
             }
@@ -342,6 +348,7 @@ class _ServerEngine:
                 layout.local_length(ctx.rank), dtype=tc.element_dtype
             )
             if ctx.rts is None:
+                copied(local.nbytes)
                 local[:] = values[slot.name]
             else:
                 steps = transfer_schedule(
@@ -421,11 +428,20 @@ class _ServerEngine:
                                 step.nelems,
                             )
                 full = ctx.rts.gather_chunks(
-                    value.local_data(), steps, root=0, out=None
+                    value.local_data(),
+                    steps,
+                    root=0,
+                    out=(
+                        staging_array(
+                            slot.name, value.length(), value.dtype
+                        )
+                        if ctx.rank == 0
+                        else None
+                    ),
                 )
                 reply_values[slot.name] = full
         if ctx.rank == 0:
-            body = encode_full_body(reply_slots(spec), reply_values)
+            body = full_body_encoder(reply_slots(spec), reply_values)
             self._reply(
                 request,
                 ReplyMessage(request.request_id, wire.STATUS_OK, body),
@@ -438,11 +454,11 @@ class _ServerEngine:
     ) -> None:
         ctx = self.ctx
         slots = request_slots(spec)
-        plain = (
-            decode_plain_body(slots, request.body)
-            if ctx.rank == 0
-            else None
-        )
+        if ctx.rank == 0:
+            plain = decode_plain_body(slots, request.body)
+            detach_plain_values(slots, plain)
+        else:
+            plain = None
         plain = self._bcast(plain)
 
         client_layouts: dict[str, Layout] = {}
@@ -555,7 +571,7 @@ class _ServerEngine:
                 for s in reply_slots(spec)
                 if not s.distributed
             }
-            body = encode_plain_body(reply_slots(spec), reply_values)
+            body = plain_body_encoder(reply_slots(spec), reply_values)
             self._reply(
                 request,
                 ReplyMessage(
@@ -773,7 +789,17 @@ class ServantGroup:
                 else:
                     message = None
                 if ctx.rts is not None:
-                    message = ctx.rts.broadcast(message, root=0)
+                    # Peers need the header only; rank 0 keeps the
+                    # original (its body may be a buffer view, which
+                    # the pickling broadcast cannot carry).
+                    outgoing = (
+                        message.without_body()
+                        if message is not None
+                        else None
+                    )
+                    received = ctx.rts.broadcast(outgoing, root=0)
+                    if ctx.rank != 0:
+                        message = received
                 if message is None:
                     break
                 engine.execute(message)
@@ -818,10 +844,18 @@ class ServantGroup:
         else:
             message = None
         if ctx.rts is not None:
+            # Only the header crosses to the peer ranks — rank 0 keeps
+            # the original message whose body is a view into the
+            # receive buffer (unpicklable, and only rank 0 decodes it).
+            outgoing = (
+                message.without_body() if message is not None else None
+            )
             try:
-                message = ctx.rts.broadcast(message, root=0)
+                received = ctx.rts.broadcast(outgoing, root=0)
             except GroupAbortedError:
                 return None
+            if ctx.rank != 0:
+                message = received
         return message
 
     def shutdown(self, timeout: float = 30.0) -> None:

@@ -10,7 +10,8 @@ the transfer header" of §3.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Any
 
 import numpy as np
 
@@ -57,6 +58,24 @@ def _read_port(dec: CdrDecoder):
     return PortAddress(port_id, label)
 
 
+def _append_body(enc: CdrEncoder, body: Any) -> None:
+    """Length-prefix ``body`` and append it without copying: encoder
+    bodies contribute their segments, buffers travel by reference."""
+    enc.write_ulong(len(body))
+    if isinstance(body, CdrEncoder):
+        enc.append_encoder(body)
+    else:
+        enc.write_octets_view(body)
+
+
+def _flatten(segments: list[Any]) -> bytes:
+    if len(segments) == 1 and isinstance(segments[0], bytes):
+        return segments[0]
+    return b"".join(
+        s if isinstance(s, bytes) else bytes(s) for s in segments
+    )
+
+
 @dataclass(frozen=True)
 class RequestMessage:
     """One operation invocation as it crosses the network."""
@@ -77,9 +96,12 @@ class RequestMessage:
     #: 'out' argument should be initialized by a distribution template
     #: before calling the operation which returns it").
     out_templates: tuple[tuple[str, tuple], ...] = ()
-    body: bytes = b""
+    #: Marshaled argument body: bytes-like, or a CdrEncoder whose
+    #: segments are appended by reference (zero-copy send path).
+    body: Any = b""
 
-    def encode(self) -> bytes:
+    def encode_segments(self) -> list[Any]:
+        """The wire form as a buffer list (no payload flatten)."""
         enc = CdrEncoder()
         enc.write_ulong(self.request_id)
         enc.write_string(self.object_key)
@@ -105,9 +127,17 @@ class RequestMessage:
             enc.write_ulong(len(weights))
             for weight in weights:
                 enc.write_ulong(int(weight))
-        enc.write_ulong(len(self.body))
-        enc.write_octets(self.body)
-        return enc.getvalue()
+        _append_body(enc, self.body)
+        return enc.segments()
+
+    def encode(self) -> bytes:
+        return _flatten(self.encode_segments())
+
+    def without_body(self) -> "RequestMessage":
+        """A copy safe to broadcast to peer ranks: the (possibly huge,
+        possibly buffer-view) body is dropped — only rank 0 decodes
+        it, and views do not survive pickling."""
+        return replace(self, body=b"")
 
     def out_template_of(self, param: str) -> tuple | None:
         for name, spec in self.out_templates:
@@ -181,7 +211,9 @@ class ReplyMessage:
 
     request_id: int
     status: int = STATUS_OK
-    body: bytes = b""
+    #: Marshaled result body: bytes-like, or a CdrEncoder appended by
+    #: reference on the send path.
+    body: Any = b""
     #: Per returned distributed parameter: (name, client-side local
     #: lengths, server-side local lengths).  The client needs both to
     #: place the data and to predict the chunk schedule — the server's
@@ -189,7 +221,8 @@ class ReplyMessage:
     #: servant resized the sequence.
     dist_layouts: tuple[tuple[str, tuple[int, ...], tuple[int, ...]], ...] = ()
 
-    def encode(self) -> bytes:
+    def encode_segments(self) -> list[Any]:
+        """The wire form as a buffer list (no payload flatten)."""
         enc = CdrEncoder()
         enc.write_ulong(self.request_id)
         enc.write_ulong(self.status)
@@ -200,9 +233,11 @@ class ReplyMessage:
                 enc.write_ulong(len(lengths))
                 for length in lengths:
                     enc.write(_TC_ULONGLONG, int(length))
-        enc.write_ulong(len(self.body))
-        enc.write_octets(self.body)
-        return enc.getvalue()
+        _append_body(enc, self.body)
+        return enc.segments()
+
+    def encode(self) -> bytes:
+        return _flatten(self.encode_segments())
 
     def layout_of(
         self, param: str
@@ -257,9 +292,13 @@ class DataChunk:
     dst_rank: int
     global_lo: int
     global_hi: int
-    payload: bytes = b""
+    #: Raw element bytes: bytes-like, including a memoryview of the
+    #: sender's local block (shipped by reference, never flattened).
+    payload: Any = b""
 
-    def encode(self) -> bytes:
+    def encode_segments(self) -> list[Any]:
+        """The wire form as a buffer list — the payload view rides
+        along by reference, so a chunk send never copies the data."""
         enc = CdrEncoder()
         enc.write_ulong(self.request_id)
         enc.write_string(self.param)
@@ -269,12 +308,18 @@ class DataChunk:
         enc.write(_TC_ULONGLONG, self.global_lo)
         enc.write(_TC_ULONGLONG, self.global_hi)
         enc.write_ulong(len(self.payload))
-        enc.write_octets(self.payload)
-        return enc.getvalue()
+        enc.write_octets_view(self.payload)
+        return enc.segments()
+
+    def encode(self) -> bytes:
+        return _flatten(self.encode_segments())
 
     def elements(self, dtype: np.dtype) -> np.ndarray:
         """Decode the payload as elements of ``dtype`` (native order;
-        chunk payloads are produced by the same CDR element rules)."""
+        chunk payloads are produced by the same CDR element rules).
+
+        Returns a view over the payload buffer — no copy; read-only
+        when the payload is a decoder view."""
         expected = (self.global_hi - self.global_lo) * dtype.itemsize
         if len(self.payload) != expected:
             raise MarshalError(

@@ -30,12 +30,20 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cdr.accounting import copied
 from repro.cdr.decoder import CdrDecoder
 from repro.cdr.encoder import CdrEncoder
 from repro.cdr.typecodes import MarshalError
 from repro.orb.naming import NamingError, NamingService
 from repro.orb.reference import ObjectReference
-from repro.orb.transport import Meter, Port, TransportError, _Delivery
+from repro.orb.transport import (
+    Meter,
+    Port,
+    TransportError,
+    _Delivery,
+    check_payload,
+    flatten_payload,
+)
 
 _LENGTH = struct.Struct(">I")
 #: Refuse frames above this size (sanity bound, 256 MiB).
@@ -58,26 +66,128 @@ class SocketPortAddress:
         )
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    while n:
-        chunk = sock.recv(min(n, 1 << 16))
-        if not chunk:
+#: Synthetic address meters see for frames dropped before any port is
+#: known (oversized / malformed framing on the reader side).
+DROP_ADDRESS = SocketPortAddress("", 0, 0, "dropped-frame")
+
+#: Frames at or below this size are read into pooled buffers and their
+#: payload copied out, so the buffer can be reused immediately; larger
+#: frames get a dedicated buffer owned by the payload views.
+_POOL_BUFFER_SIZE = 1 << 16
+
+
+class _FrameTooLarge(MarshalError):
+    """An incoming frame declares a length above :data:`_MAX_FRAME`."""
+
+    def __init__(self, length: int) -> None:
+        super().__init__(
+            f"frame of {length} bytes exceeds the bound"
+        )
+        self.length = length
+
+
+def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` completely from the socket (one buffer, no
+    chunk-list or join — the single kernel→user copy of the receive
+    path)."""
+    filled = 0
+    total = len(view)
+    while filled < total:
+        n = sock.recv_into(view[filled:])
+        if n == 0:
             raise ConnectionError("peer closed the connection")
-        chunks.append(chunk)
-        n -= len(chunk)
-    return b"".join(chunks)
+        filled += n
+    copied(total)
 
 
-def _read_frame(sock: socket.socket) -> bytes:
-    (length,) = _LENGTH.unpack(_recv_exact(sock, 4))
+class _ConnBuffers:
+    """Per-connection receive buffers.
+
+    The 4-byte length prefix always lands in one reusable header
+    buffer; small frames reuse a tiny pool of fixed-size buffers
+    (payloads are copied out before the buffer is recycled), large
+    frames get an exact-size buffer whose lifetime is handed to the
+    decoded payload views.
+    """
+
+    def __init__(self, pool_size: int = 4) -> None:
+        self.header = bytearray(_LENGTH.size)
+        self._free: list[bytearray] = []
+        self._pool_size = pool_size
+
+    def take(self, length: int) -> tuple[bytearray, bool]:
+        """A buffer of at least ``length`` bytes plus whether it is
+        pooled (must be released, payload must be copied out)."""
+        if length <= _POOL_BUFFER_SIZE:
+            if self._free:
+                return self._free.pop(), True
+            return bytearray(_POOL_BUFFER_SIZE), True
+        return bytearray(length), False
+
+    def give(self, buf: bytearray) -> None:
+        if len(self._free) < self._pool_size:
+            self._free.append(buf)
+
+
+def _read_frame_length(
+    sock: socket.socket, header: bytearray
+) -> int:
+    _recv_exact_into(sock, memoryview(header))
+    (length,) = _LENGTH.unpack(header)
+    return length
+
+
+def _drain(sock: socket.socket, n: int) -> None:
+    """Discard ``n`` bytes so the stream stays framed after a frame we
+    refuse to buffer."""
+    scratch = bytearray(min(n, 1 << 16))
+    view = memoryview(scratch)
+    while n:
+        got = sock.recv_into(view[: min(n, len(scratch))])
+        if got == 0:
+            raise ConnectionError("peer closed the connection")
+        n -= got
+
+
+def _read_frame(sock: socket.socket) -> memoryview:
+    """One frame into a fresh buffer, as a read-only view.
+
+    Used by the naming protocol's strictly request/reply connections;
+    the fabric reader loop uses the pooled fast path instead.
+    """
+    header = bytearray(_LENGTH.size)
+    length = _read_frame_length(sock, header)
+    if length == 0:
+        raise MarshalError("zero-length frame is malformed")
     if length > _MAX_FRAME:
-        raise MarshalError(f"frame of {length} bytes exceeds the bound")
-    return _recv_exact(sock, length)
+        raise _FrameTooLarge(length)
+    buf = bytearray(length)
+    _recv_exact_into(sock, memoryview(buf))
+    return memoryview(buf).toreadonly()
 
 
-def _write_frame(sock: socket.socket, frame: bytes) -> None:
-    sock.sendall(_LENGTH.pack(len(frame)) + frame)
+def _write_frame(sock: socket.socket, *buffers: Any) -> None:
+    """Vectored frame write: length prefix + buffers via ``sendmsg``,
+    never joined into one allocation."""
+    total = sum(len(b) for b in buffers)
+    views = [memoryview(_LENGTH.pack(total))]
+    for buf in buffers:
+        if len(buf) == 0:
+            continue
+        view = memoryview(buf)
+        views.append(view.cast("B") if view.format != "B" else view)
+    while views:
+        sent = sock.sendmsg(views)
+        if sent <= 0:
+            raise ConnectionError("peer stopped accepting data")
+        while sent:
+            head = views[0]
+            if sent >= len(head):
+                sent -= len(head)
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
 
 
 class SocketFabric:
@@ -103,6 +213,10 @@ class SocketFabric:
         self._meters: list[Meter] = []
         self._connections: dict[tuple[str, int], socket.socket] = {}
         self._conn_locks: dict[tuple[str, int], threading.Lock] = {}
+        #: Incoming frames refused by the reader side (zero-length or
+        #: above :data:`_MAX_FRAME`); also reported to meters under the
+        #: synthetic :data:`DROP_ADDRESS` with kind ``"drop"``.
+        self.dropped_frames = 0
         self._closed = False
         self._server = socket.create_server(
             (bind_host, bind_port), reuse_port=False
@@ -134,24 +248,21 @@ class SocketFabric:
         self,
         src: SocketPortAddress,
         dest: SocketPortAddress,
-        payload: bytes,
+        payload: Any,
         kind: str = "data",
     ) -> None:
-        if not isinstance(payload, (bytes, bytearray, memoryview)):
-            raise TransportError(
-                "transport carries marshaled bytes only; got "
-                f"{type(payload).__name__}"
-            )
-        payload = bytes(payload)
+        nbytes = check_payload(payload)
         with self._lock:
             meters = list(self._meters)
         for meter in meters:
-            meter(src, dest, kind, len(payload))
+            meter(src, dest, kind, nbytes)
         if (dest.host, dest.tcp_port) == (self.host, self.tcp_port):
-            self._deliver_local(dest.port_id, src, kind, payload)
+            self._deliver_local(
+                dest.port_id, src, kind, flatten_payload(payload)
+            )
             return
-        frame = self._encode_frame(src, dest, kind, payload)
-        self._send_remote((dest.host, dest.tcp_port), frame)
+        segments = self._encode_frame(src, dest, kind, payload, nbytes)
+        self._send_remote((dest.host, dest.tcp_port), segments)
 
     def add_meter(self, meter: Meter) -> None:
         """Observe every outgoing message (same hook as Fabric)."""
@@ -177,8 +288,11 @@ class SocketFabric:
         src: SocketPortAddress,
         dest: SocketPortAddress,
         kind: str,
-        payload: bytes,
-    ) -> bytes:
+        payload: Any,
+        nbytes: int,
+    ) -> list[Any]:
+        """The frame as a buffer list: large payload segments ride
+        along by reference for the vectored write."""
         enc = CdrEncoder()
         enc.write_ulong(dest.port_id)
         enc.write_string(src.host)
@@ -186,16 +300,20 @@ class SocketFabric:
         enc.write_ulong(src.port_id)
         enc.write_string(src.label)
         enc.write_string(kind)
-        enc.write_ulong(len(payload))
-        enc.write_octets(payload)
-        return enc.getvalue()
+        enc.write_ulong(nbytes)
+        if isinstance(payload, (list, tuple)):
+            for segment in payload:
+                enc.write_octets_view(segment)
+        else:
+            enc.write_octets_view(payload)
+        return enc.segments()
 
     def _deliver_local(
         self,
         dest_port_id: int,
         src: SocketPortAddress,
         kind: str,
-        payload: bytes,
+        payload: Any,
     ) -> None:
         with self._lock:
             port = self._ports.get(dest_port_id)
@@ -206,26 +324,37 @@ class SocketFabric:
         port._deposit(_Delivery(src, kind, payload))
 
     def _send_remote(
-        self, endpoint: tuple[str, int], frame: bytes
+        self, endpoint: tuple[str, int], buffers: list[Any]
     ) -> None:
         with self._lock:
             sock = self._connections.get(endpoint)
-            if sock is None:
-                try:
-                    sock = socket.create_connection(endpoint, timeout=10)
-                except OSError as exc:
-                    raise TransportError(
-                        f"cannot reach {endpoint[0]}:{endpoint[1]}: {exc}"
-                    ) from None
-                self._connections[endpoint] = sock
-                self._conn_locks[endpoint] = threading.Lock()
-            conn_lock = self._conn_locks[endpoint]
+            conn_lock = self._conn_locks.get(endpoint)
+        if sock is None:
+            # Connect outside the fabric lock — a slow or unreachable
+            # peer must not stall every other sender on this fabric.
+            try:
+                fresh = socket.create_connection(endpoint, timeout=10)
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot reach {endpoint[0]}:{endpoint[1]}: {exc}"
+                ) from None
+            with self._lock:
+                sock = self._connections.get(endpoint)
+                if sock is None:
+                    self._connections[endpoint] = fresh
+                    self._conn_locks[endpoint] = threading.Lock()
+                    sock = fresh
+                    fresh = None
+                conn_lock = self._conn_locks[endpoint]
+            if fresh is not None:
+                fresh.close()  # lost the insertion race; use the winner
         with conn_lock:
             try:
-                _write_frame(sock, frame)
+                _write_frame(sock, *buffers)
             except OSError as exc:
                 with self._lock:
                     self._connections.pop(endpoint, None)
+                    self._conn_locks.pop(endpoint, None)
                 raise TransportError(
                     f"send to {endpoint[0]}:{endpoint[1]} failed: {exc}"
                 ) from None
@@ -244,19 +373,49 @@ class SocketFabric:
             ).start()
 
     def _reader_loop(self, conn: socket.socket) -> None:
+        buffers = _ConnBuffers()
         try:
             while True:
-                frame = _read_frame(conn)
+                length = _read_frame_length(conn, buffers.header)
+                if length == 0 or length > _MAX_FRAME:
+                    # Malformed or oversized: count the drop, drain the
+                    # declared bytes so the stream stays framed, and
+                    # keep the connection alive.
+                    self._record_drop(length)
+                    if length:
+                        _drain(conn, length)
+                    continue
+                buf, pooled = buffers.take(length)
+                view = memoryview(buf)[:length]
+                _recv_exact_into(conn, view)
                 try:
-                    self._dispatch_frame(frame)
+                    self._dispatch_frame(
+                        view.toreadonly(), copy_payload=pooled
+                    )
                 except (MarshalError, TransportError):
-                    continue  # drop garbage, keep the connection
+                    pass  # drop garbage, keep the connection
+                del view
+                if pooled:
+                    buffers.give(buf)
         except (ConnectionError, OSError):
             pass
         finally:
             conn.close()
 
-    def _dispatch_frame(self, frame: bytes) -> None:
+    def _record_drop(self, length: int) -> None:
+        with self._lock:
+            self.dropped_frames += 1
+            meters = list(self._meters)
+        for meter in meters:
+            meter(DROP_ADDRESS, DROP_ADDRESS, "drop", length)
+
+    def _dispatch_frame(
+        self, frame: memoryview, copy_payload: bool = True
+    ) -> None:
+        """Route one frame.  ``copy_payload`` detaches the payload
+        from pooled receive buffers about to be reused; large frames
+        pass ``False`` — their buffer's lifetime is handed to the
+        deposited view."""
         dec = CdrDecoder(frame)
         dest_port_id = dec.read_ulong()
         src = SocketPortAddress(
@@ -266,7 +425,10 @@ class SocketFabric:
             label=dec.read_string(),
         )
         kind = dec.read_string()
-        payload = dec.read_octets(dec.read_ulong())
+        payload: Any = dec.read_octets(dec.read_ulong())
+        if copy_payload:
+            copied(len(payload))
+            payload = bytes(payload)
         self._deliver_local(dest_port_id, src, kind, payload)
 
     def close(self) -> None:

@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.cdr.accounting import copied
 from repro.cdr.decoder import CdrDecoder
 from repro.cdr.encoder import CdrEncoder
 from repro.cdr.typecodes import DSequenceTC, MarshalError, TypeCode, TC_VOID
@@ -254,9 +255,11 @@ def assemble_chunks(
                 f"'{chunk.param}' lies outside rank {rank}'s block "
                 f"[{lo}, {hi})"
             )
-        out[chunk.global_lo - lo : chunk.global_hi - lo] = chunk.elements(
-            dtype
-        )
+        elements = chunk.elements(dtype)
+        # The landing store: straight from the chunk payload view into
+        # the destination block, the receive side's one copy.
+        copied(elements.nbytes)
+        out[chunk.global_lo - lo : chunk.global_hi - lo] = elements
 
 
 def send_chunks(
@@ -274,7 +277,13 @@ def send_chunks(
     for step in steps:
         if step.src_rank != my_rank:
             continue
-        payload = np.ascontiguousarray(local[step.src_slice]).tobytes()
+        block = local[step.src_slice]
+        if not block.flags.c_contiguous:
+            block = np.ascontiguousarray(block)
+            copied(block.nbytes)
+        # Ship a view of the sender's block — the chunk rides to the
+        # transport by reference, no flatten.
+        payload = memoryview(block).cast("B")
         chunk = DataChunk(
             request_id=request_id,
             param=param,
@@ -294,7 +303,9 @@ def send_chunks(
                 step.dst_rank,
                 step.nelems,
             )
-        port.send(dest_ports[step.dst_rank], chunk.encode(), KIND_DATA)
+        port.send(
+            dest_ports[step.dst_rank], chunk.encode_segments(), KIND_DATA
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -302,17 +313,27 @@ def send_chunks(
 # ---------------------------------------------------------------------------
 
 
-def encode_plain_body(slots: list[Slot], values: dict[str, Any]) -> bytes:
-    """Marshal the non-distributed slots of a message body."""
+def plain_body_encoder(
+    slots: list[Slot], values: dict[str, Any]
+) -> CdrEncoder:
+    """Marshal the non-distributed slots of a message body.
+
+    Returns the encoder itself so a message can append its segments by
+    reference (zero-copy send path)."""
     enc = CdrEncoder()
     for slot in slots:
         if slot.distributed:
             continue
         enc.write(slot.typecode, values[slot.name])
-    return enc.getvalue()
+    return enc
 
 
-def decode_plain_body(slots: list[Slot], body: bytes) -> dict[str, Any]:
+def encode_plain_body(slots: list[Slot], values: dict[str, Any]) -> bytes:
+    """Flattened form of :func:`plain_body_encoder`."""
+    return plain_body_encoder(slots, values).getvalue()
+
+
+def decode_plain_body(slots: list[Slot], body: Any) -> dict[str, Any]:
     """Inverse of :func:`encode_plain_body`."""
     dec = CdrDecoder(body)
     values: dict[str, Any] = {}
@@ -323,24 +344,51 @@ def decode_plain_body(slots: list[Slot], body: bytes) -> dict[str, Any]:
     return values
 
 
-def encode_full_body(
+def full_body_encoder(
     slots: list[Slot], values: dict[str, Any]
-) -> bytes:
+) -> CdrEncoder:
     """Centralized method: everything inline, distributed sequences as
-    materialized arrays."""
+    materialized arrays (appended by reference — the encoder borrows
+    them until the message is sent)."""
     enc = CdrEncoder()
     for slot in slots:
         if slot.distributed:
             enc.write(slot.typecode, np.asarray(values[slot.name]))
         else:
             enc.write(slot.typecode, values[slot.name])
-    return enc.getvalue()
+    return enc
 
 
-def decode_full_body(slots: list[Slot], body: bytes) -> dict[str, Any]:
-    """Inverse of :func:`encode_full_body`."""
+def encode_full_body(
+    slots: list[Slot], values: dict[str, Any]
+) -> bytes:
+    """Flattened form of :func:`full_body_encoder`."""
+    return full_body_encoder(slots, values).getvalue()
+
+
+def decode_full_body(slots: list[Slot], body: Any) -> dict[str, Any]:
+    """Inverse of :func:`encode_full_body`.  Numeric sequences come
+    back as read-only views into ``body``'s buffer."""
     dec = CdrDecoder(body)
     return {slot.name: dec.read(slot.typecode) for slot in slots}
+
+
+def detach_plain_values(
+    slots: list[Slot], values: dict[str, Any]
+) -> None:
+    """Replace read-only decoder-view arrays in the plain slots with
+    writable copies.
+
+    User code receives (and servants may mutate) these values, so they
+    must not alias a transport buffer; plain slots are small, the copy
+    is part of the accounted budget."""
+    for slot in slots:
+        if slot.distributed:
+            continue
+        value = values.get(slot.name)
+        if isinstance(value, np.ndarray) and not value.flags.writeable:
+            copied(value.nbytes)
+            values[slot.name] = value.copy()
 
 
 def encode_user_exception(exc: UserException) -> bytes:
@@ -391,6 +439,33 @@ def decode_system_exception(body: bytes) -> RemoteError:
     category = dec.read_string()
     message = dec.read_string()
     return RemoteError(message, category=category)
+
+
+# ---------------------------------------------------------------------------
+# Gather staging (centralized method)
+# ---------------------------------------------------------------------------
+
+_staging_pool = threading.local()
+
+
+def staging_array(name: str, length: int, dtype: np.dtype) -> np.ndarray:
+    """A reusable per-thread landing buffer for the centralized gather.
+
+    The communicating thread gathers every distributed parameter into
+    a full-length staging array before marshaling; one grow-only
+    buffer per parameter name, reused across requests, replaces a
+    fresh full-sequence allocation per invocation.  Safe because the
+    send path finishes with the buffer (vectored write, or the
+    in-process flatten) before ``invoke`` returns to this thread.
+    """
+    buffers = getattr(_staging_pool, "buffers", None)
+    if buffers is None:
+        buffers = _staging_pool.buffers = {}
+    nbytes = max(length * dtype.itemsize, 1)
+    buf = buffers.get(name)
+    if buf is None or buf.nbytes < nbytes:
+        buf = buffers[name] = np.empty(nbytes, dtype=np.uint8)
+    return buf[: length * dtype.itemsize].view(dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -555,7 +630,14 @@ class CentralizedTransfer(TransferEngine):
                             step.nelems,
                         )
             gathered[slot.name] = rts.gather_chunks(
-                seq.local_data(), steps, root=0, out=None
+                seq.local_data(),
+                steps,
+                root=0,
+                out=(
+                    staging_array(slot.name, seq.length(), seq.dtype)
+                    if runtime.rank == 0
+                    else None
+                ),
             )
 
         reply = None
@@ -567,7 +649,7 @@ class CentralizedTransfer(TransferEngine):
                 )
                 for s in req_slots
             }
-            body = encode_full_body(req_slots, values)
+            body = full_body_encoder(req_slots, values)
             message = RequestMessage(
                 request_id=request_id,
                 object_key=ref.object_key,
@@ -583,7 +665,7 @@ class CentralizedTransfer(TransferEngine):
             if tracer:
                 tracer.emit("net-request", self.mode, spec.name, len(body))
             runtime.reply_port.send(
-                ref.request_port, message.encode(), KIND_REQUEST
+                ref.request_port, message.encode_segments(), KIND_REQUEST
             )
             if not spec.oneway:
                 _src, _kind, payload = runtime.reply_port.recv(
@@ -620,21 +702,30 @@ class CentralizedTransfer(TransferEngine):
         rep_slots = reply_slots(spec)
         # The communicating thread decodes; peers learn status and
         # plain values by broadcast, distributed values by scatter.
+        # Only the status (and, on failure, the small exception body)
+        # is broadcast — the bulk reply body stays on rank 0 as a view
+        # into the receive buffer; views do not survive pickling.
         if runtime.rank == 0:
             assert reply is not None
-            header: tuple[int, bytes] = (reply.status, reply.body)
+            status = reply.status
+            error_body = (
+                None
+                if status == wire.STATUS_OK
+                else bytes(reply.body)
+            )
+            header: tuple[int, bytes | None] = (status, error_body)
         else:
             header = None  # type: ignore[assignment]
         if rts is not None:
             header = rts.broadcast(header, root=0)
-        status, body = header
+        status, error_body = header
         if status != wire.STATUS_OK:
-            self._raise_for_status(spec, status, body)
-        values = (
-            decode_full_body(rep_slots, body)
-            if runtime.rank == 0
-            else {}
-        )
+            self._raise_for_status(spec, status, error_body)
+        if runtime.rank == 0:
+            values = decode_full_body(rep_slots, reply.body)
+            detach_plain_values(rep_slots, values)
+        else:
+            values = {}
 
         composed: list[Any] = []
         for slot in rep_slots:
@@ -652,6 +743,7 @@ class CentralizedTransfer(TransferEngine):
                 dtype=slot.typecode.element_dtype,  # type: ignore[attr-defined]
             )
             if rts is None:
+                copied(local.nbytes)
                 local[:] = full
             else:
                 steps = transfer_schedule(
@@ -736,7 +828,7 @@ class MultiPortTransfer(TransferEngine):
         # The invocation header is delivered using the centralized
         # method (§3.3): the communicating thread sends it.
         if runtime.rank == 0:
-            body = encode_plain_body(req_slots, args_by_name)
+            body = plain_body_encoder(req_slots, args_by_name)
             message = RequestMessage(
                 request_id=request_id,
                 object_key=ref.object_key,
@@ -757,7 +849,7 @@ class MultiPortTransfer(TransferEngine):
             if tracer:
                 tracer.emit("net-request", self.mode, spec.name, len(body))
             runtime.reply_port.send(
-                ref.request_port, message.encode(), KIND_REQUEST
+                ref.request_port, message.encode_segments(), KIND_REQUEST
             )
 
         # Each thread ships its own chunks straight to the owning
@@ -804,7 +896,12 @@ class MultiPortTransfer(TransferEngine):
                 )
             if tracer:
                 tracer.emit("net-reply", self.mode, len(reply.body))
-            header = (reply.status, reply.body, reply.dist_layouts)
+            # The multi-port reply body holds plain values only (bulk
+            # data travels as chunks); a small bytes copy makes it
+            # broadcastable to the peer ranks.
+            body = bytes(reply.body)
+            copied(len(body))
+            header = (reply.status, body, reply.dist_layouts)
         else:
             header = None  # type: ignore[assignment]
         if rts is not None:
@@ -814,6 +911,7 @@ class MultiPortTransfer(TransferEngine):
             self._raise_for_status(spec, status, body)
 
         values = decode_plain_body(reply_slots(spec), body)
+        detach_plain_values(reply_slots(spec), values)
         reply_layout_map = {
             name: (client_lengths, server_lengths)
             for name, client_lengths, server_lengths in reply_layouts

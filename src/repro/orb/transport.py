@@ -23,7 +23,9 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
+
+from repro.cdr.accounting import copied
 
 #: Message kinds understood by the ORB layers.
 KIND_REQUEST = "request"
@@ -34,6 +36,40 @@ KIND_CONTROL = "control"
 
 class TransportError(RuntimeError):
     """Port closed, unknown address, timeout, or misuse."""
+
+
+def check_payload(payload: Any) -> int:
+    """Validate a send payload and return its total byte length.
+
+    Payloads are marshaled bytes: one buffer (bytes / bytearray /
+    memoryview) or a list/tuple of such buffers — the segment form
+    produced by the zero-copy encoders, which vectored transports send
+    without joining.  The sender must not mutate a payload after
+    handing it to the fabric (zero-copy contract).
+    """
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)) and all(
+        isinstance(p, (bytes, bytearray, memoryview)) for p in payload
+    ):
+        return sum(len(p) for p in payload)
+    raise TransportError(
+        "transport carries marshaled bytes only; got "
+        f"{type(payload).__name__}"
+    )
+
+
+def flatten_payload(payload: Any) -> Any:
+    """One contiguous buffer for in-process delivery (joins segment
+    lists — the single copy of the in-process path)."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return payload
+    if len(payload) == 1:
+        return payload[0]
+    copied(sum(len(p) for p in payload))
+    return b"".join(
+        p if isinstance(p, bytes) else bytes(p) for p in payload
+    )
 
 
 @dataclass(frozen=True, order=True)
@@ -51,7 +87,7 @@ class PortAddress:
 class _Delivery:
     src: PortAddress
     kind: str
-    payload: bytes
+    payload: Any  # one contiguous bytes-like buffer
 
 
 class Port:
@@ -121,9 +157,14 @@ class Port:
             return len(self._queue)
 
     def send(
-        self, dest: PortAddress, payload: bytes, kind: str = KIND_DATA
+        self, dest: PortAddress, payload: Any, kind: str = KIND_DATA
     ) -> None:
-        """Send from this port (the reply-to address) to ``dest``."""
+        """Send from this port (the reply-to address) to ``dest``.
+
+        ``payload`` is marshaled bytes: one buffer or a segment list
+        (see :func:`check_payload`); segment lists let vectored
+        transports ship encoder output without joining it.
+        """
         self._fabric.send(self.address, dest, payload, kind)
 
     def close(self) -> None:
@@ -181,23 +222,18 @@ class Fabric:
         self,
         src: PortAddress,
         dest: PortAddress,
-        payload: bytes,
+        payload: Any,
         kind: str = KIND_DATA,
     ) -> None:
-        if not isinstance(payload, (bytes, bytearray, memoryview)):
-            raise TransportError(
-                "transport carries marshaled bytes only; got "
-                f"{type(payload).__name__}"
-            )
-        payload = bytes(payload)
+        nbytes = check_payload(payload)
         with self._lock:
             port = self._ports.get(dest.port_id)
             meters = list(self._meters)
         if port is None:
             raise TransportError(f"no port at {dest}")
         for meter in meters:
-            meter(src, dest, kind, len(payload))
-        port._deposit(_Delivery(src, kind, payload))
+            meter(src, dest, kind, nbytes)
+        port._deposit(_Delivery(src, kind, flatten_payload(payload)))
 
     def add_meter(self, meter: Meter) -> None:
         """Observe every message crossing the fabric."""

@@ -1,0 +1,213 @@
+"""Zero-copy transport behaviours of :class:`SocketFabric`.
+
+Covers the reader-side drop policy (malformed/oversized frames are
+counted, metered, and do not kill the connection), the pooled-versus-
+dedicated receive-buffer split, vectored multi-segment writes, and the
+connect-outside-the-lock race in ``_send_remote``.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.orb.socketnet import (
+    DROP_ADDRESS,
+    _MAX_FRAME,
+    _POOL_BUFFER_SIZE,
+    SocketFabric,
+    SocketPortAddress,
+)
+from repro.orb.transport import KIND_DATA
+
+_LENGTH = struct.Struct(">I")
+
+
+@pytest.fixture()
+def fabric():
+    with SocketFabric("zc-fabric") as fabric:
+        yield fabric
+
+
+def _raw_frame(dest, payload: bytes) -> bytes:
+    """A well-formed wire frame addressed to ``dest``."""
+    src = SocketPortAddress("127.0.0.1", 1, 99, "raw-sender")
+    segments = SocketFabric._encode_frame(
+        src, dest, KIND_DATA, payload, len(payload)
+    )
+    body = b"".join(bytes(s) for s in segments)
+    return _LENGTH.pack(len(body)) + body
+
+
+def _wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.01)
+
+
+class TestDropPolicy:
+    def test_zero_length_frame_is_counted_and_skipped(self, fabric):
+        """A zero-length frame is dropped but the connection — and the
+        frames after it — survive."""
+        seen = []
+        fabric.add_meter(
+            lambda src, dest, kind, nbytes: seen.append(
+                (src, dest, kind, nbytes)
+            )
+        )
+        port = fabric.open_port("victim")
+        with socket.create_connection(
+            (fabric.host, fabric.tcp_port), timeout=5
+        ) as raw:
+            raw.sendall(_LENGTH.pack(0))  # malformed: zero length
+            raw.sendall(_raw_frame(port.address, b"still alive"))
+            src, kind, payload = port.recv(timeout=5)
+        assert bytes(payload) == b"still alive"
+        assert fabric.dropped_frames == 1
+        assert (DROP_ADDRESS, DROP_ADDRESS, "drop", 0) in seen
+
+    def test_oversized_frame_is_counted(self, fabric):
+        declared = _MAX_FRAME + 1
+        with socket.create_connection(
+            (fabric.host, fabric.tcp_port), timeout=5
+        ) as raw:
+            raw.sendall(_LENGTH.pack(declared))
+        _wait_for(lambda: fabric.dropped_frames == 1)
+
+    def test_oversized_frame_is_drained_not_buffered(self, fabric):
+        """The declared bytes are discarded so the stream stays framed
+        for the next frame on the same connection."""
+        port = fabric.open_port("after-drain")
+        junk_len = _MAX_FRAME + 7  # larger than any drain chunk
+        with socket.create_connection(
+            (fabric.host, fabric.tcp_port), timeout=5
+        ) as raw:
+            raw.sendall(_LENGTH.pack(junk_len))
+            chunk = bytes(1 << 20)
+            remaining = junk_len
+            while remaining:
+                n = min(remaining, len(chunk))
+                raw.sendall(chunk[:n])
+                remaining -= n
+            raw.sendall(_raw_frame(port.address, b"resynced"))
+            _src, _kind, payload = port.recv(timeout=30)
+        assert bytes(payload) == b"resynced"
+        assert fabric.dropped_frames == 1
+
+    def test_drops_accumulate(self, fabric):
+        with socket.create_connection(
+            (fabric.host, fabric.tcp_port), timeout=5
+        ) as raw:
+            raw.sendall(_LENGTH.pack(0) * 3)
+        _wait_for(lambda: fabric.dropped_frames == 3)
+
+
+class TestReceiveBuffers:
+    def test_small_payload_is_detached_bytes(self, fabric):
+        """Pool-sized frames are copied out so the pooled buffer can be
+        recycled immediately."""
+        with SocketFabric("peer") as peer:
+            sender = peer.open_port("s")
+            receiver = fabric.open_port("r")
+            sender.send(receiver.address, b"x" * 512, KIND_DATA)
+            _src, _kind, payload = receiver.recv(timeout=5)
+        assert isinstance(payload, bytes)
+        assert payload == b"x" * 512
+
+    def test_large_payload_arrives_as_readonly_view(self, fabric):
+        """Above the pool bound the payload keeps its dedicated receive
+        buffer and is delivered as a zero-copy read-only view."""
+        big = np.arange(
+            (_POOL_BUFFER_SIZE * 4) // 8, dtype=np.float64
+        )
+        with SocketFabric("peer") as peer:
+            sender = peer.open_port("s")
+            receiver = fabric.open_port("r")
+            sender.send(
+                receiver.address, memoryview(big).cast("B"), KIND_DATA
+            )
+            _src, _kind, payload = receiver.recv(timeout=5)
+        assert isinstance(payload, memoryview)
+        assert payload.readonly
+        np.testing.assert_array_equal(
+            np.frombuffer(payload, dtype=np.float64), big
+        )
+
+    def test_pooled_buffer_reuse_does_not_corrupt(self, fabric):
+        """Back-to-back small frames on one connection must each come
+        out intact even though they share pooled buffers."""
+        with SocketFabric("peer") as peer:
+            sender = peer.open_port("s")
+            receiver = fabric.open_port("r")
+            frames = [bytes([i]) * 1024 for i in range(16)]
+            for frame in frames:
+                sender.send(receiver.address, frame, KIND_DATA)
+            got = [receiver.recv(timeout=5)[2] for _ in frames]
+        assert got == frames
+
+
+class TestVectoredSend:
+    def test_multi_segment_payload_roundtrips(self, fabric):
+        """A payload given as a buffer list rides the vectored write
+        and arrives byte-identical to the concatenation."""
+        parts = [
+            b"head",
+            memoryview(np.arange(1000, dtype=np.float64)).cast("B"),
+            b"tail",
+        ]
+        flat = b"".join(bytes(p) for p in parts)
+        with SocketFabric("peer") as peer:
+            sender = peer.open_port("s")
+            receiver = fabric.open_port("r")
+            sender.send(receiver.address, parts, KIND_DATA)
+            _src, _kind, payload = receiver.recv(timeout=5)
+        assert bytes(payload) == flat
+
+    def test_empty_segments_are_skipped(self, fabric):
+        with SocketFabric("peer") as peer:
+            sender = peer.open_port("s")
+            receiver = fabric.open_port("r")
+            sender.send(
+                receiver.address, [b"", b"payload", b""], KIND_DATA
+            )
+            assert bytes(receiver.recv(timeout=5)[2]) == b"payload"
+
+
+class TestConcurrentConnect:
+    def test_racing_first_sends_share_one_connection(self, fabric):
+        """Many threads race the first send to one endpoint; the
+        double-checked insert must leave exactly one cached connection
+        and lose no frames."""
+        with SocketFabric("peer") as peer:
+            receiver = fabric.open_port("r")
+            senders = [peer.open_port(f"s{i}") for i in range(8)]
+            barrier = threading.Barrier(len(senders))
+            errors = []
+
+            def blast(port, tag):
+                barrier.wait()
+                try:
+                    port.send(receiver.address, tag, KIND_DATA)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=blast, args=(p, bytes([i]) * 32))
+                for i, p in enumerate(senders)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+            got = sorted(
+                bytes(receiver.recv(timeout=5)[2]) for _ in senders
+            )
+            assert got == sorted(bytes([i]) * 32 for i in range(8))
+            endpoint = (fabric.host, fabric.tcp_port)
+            assert list(peer._connections) == [endpoint]
