@@ -75,6 +75,8 @@ class ORB:
         multiport: bool = True,
         templates: dict[tuple[str, str], Any] | None = None,
         rts_style: str = "message-passing",
+        dispatch_workers: int = 4,
+        dispatch_policy: str = "client-fifo",
     ) -> SpmdServerGroup:
         """Activate an SPMD object and register it with naming.
 
@@ -85,6 +87,16 @@ class ORB:
         pre-registration assignment); unlisted parameters default to
         uniform blockwise.  ``multiport=False`` activates an object
         that only advertises the single centralized connection.
+        ``dispatch_workers`` bounds how many requests a *serial*
+        (``nthreads == 1``) object executes concurrently; 1 restores
+        strictly serial dispatch.  ``dispatch_policy`` picks the
+        ordering contract: the default ``"client-fifo"`` runs one
+        client's requests in send order (different clients overlap),
+        ``"concurrent"`` drops cross-request ordering entirely — like
+        a CORBA ORB-controlled-threads POA — so even a single
+        pipelined client's requests overlap (for stateless or
+        internally synchronized servants).  Collective objects ignore
+        both.
         """
         group = SpmdServerGroup(
             self.fabric,
@@ -97,6 +109,8 @@ class ORB:
             templates=templates,
             tracer=self.tracer,
             rts_style=rts_style,
+            dispatch_workers=dispatch_workers,
+            dispatch_policy=dispatch_policy,
         )
         group.start()
         self._adapter._groups.append(group)
@@ -110,13 +124,16 @@ class ORB:
         *,
         label: str = "client",
         rts_style: str = "message-passing",
+        pipeline_depth: int = 8,
     ) -> ClientRuntime:
         """Create the per-thread client runtime (collective when
         ``comm`` is a group communicator; serial when ``None``).
 
         ``rts_style`` selects the run-time-system interface the ORB
         uses for gathers/scatters: the paper's ``"message-passing"``
-        or its planned ``"one-sided"`` alternative.
+        or its planned ``"one-sided"`` alternative.  ``pipeline_depth``
+        caps how many non-blocking invocations this runtime keeps in
+        flight at once (1 restores strictly serial round-trips).
         """
         runtime = ClientRuntime(
             self.fabric,
@@ -126,6 +143,7 @@ class ORB:
             timeout=self.timeout,
             label=label,
             rts_style=rts_style,
+            pipeline_depth=pipeline_depth,
         )
         with self._lock:
             self._runtimes.append(runtime)

@@ -18,7 +18,12 @@ from repro.dist.template import (
     Layout,
     Proportions,
 )
-from repro.dist.schedule import TransferStep, transfer_schedule
+from repro.dist.schedule import (
+    TransferStep,
+    clear_schedule_cache,
+    schedule_cache_stats,
+    transfer_schedule,
+)
 from repro.dist.sequence import DistributedSequence
 
 __all__ = [
@@ -29,5 +34,7 @@ __all__ = [
     "Layout",
     "Proportions",
     "TransferStep",
+    "clear_schedule_cache",
+    "schedule_cache_stats",
     "transfer_schedule",
 ]

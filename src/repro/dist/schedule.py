@@ -16,6 +16,8 @@ minimum number of sends in each case)".
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.dist.template import DistributionError, Layout
@@ -53,6 +55,76 @@ class TransferStep:
         return slice(self.dst_offset, self.dst_offset + self.nelems)
 
 
+class _ScheduleCache:
+    """A small thread-safe LRU over ``(src, dst)`` layout pairs.
+
+    Schedules are pure functions of the two layouts, and the hot path
+    (every invocation of every distributed parameter) keeps asking for
+    the same handful of pairs; :class:`Layout` is frozen and hashable,
+    so the pair is a direct key.  Entries are stored as tuples; callers
+    get a fresh list, so mutating a returned schedule never corrupts
+    the cache.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[
+            tuple[Layout, Layout], tuple[TransferStep, ...]
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, key: tuple[Layout, Layout]
+    ) -> tuple[TransferStep, ...] | None:
+        with self._lock:
+            steps = self._entries.get(key)
+            if steps is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return steps
+
+    def store(
+        self, key: tuple[Layout, Layout], steps: tuple[TransferStep, ...]
+    ) -> None:
+        with self._lock:
+            self._entries[key] = steps
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_schedule_cache = _ScheduleCache()
+
+
+def schedule_cache_stats() -> dict[str, int]:
+    """Hit/miss/occupancy counters of the schedule LRU."""
+    return _schedule_cache.stats()
+
+
+def clear_schedule_cache() -> None:
+    """Drop all cached schedules and reset the counters (tests)."""
+    _schedule_cache.clear()
+
+
 def transfer_schedule(src: Layout, dst: Layout) -> list[TransferStep]:
     """Compute the minimal chunk schedule moving ``src`` onto ``dst``.
 
@@ -63,7 +135,19 @@ def transfer_schedule(src: Layout, dst: Layout) -> list[TransferStep]:
     threads even when the rank numbers coincide).
 
     The two layouts must describe index spaces of equal length.
+    Results are memoized in a small LRU keyed by the layout pair (see
+    :func:`schedule_cache_stats`).
     """
+    key = (src, dst)
+    cached = _schedule_cache.lookup(key)
+    if cached is not None:
+        return list(cached)
+    steps = _compute_schedule(src, dst)
+    _schedule_cache.store(key, tuple(steps))
+    return steps
+
+
+def _compute_schedule(src: Layout, dst: Layout) -> list[TransferStep]:
     if src.length != dst.length:
         raise DistributionError(
             f"source layout covers {src.length} elements but destination "

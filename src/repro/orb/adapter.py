@@ -16,6 +16,7 @@ templates the servant registered for its parameters (§2.2).
 
 from __future__ import annotations
 
+import queue
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -62,15 +63,32 @@ from repro.orb.transport import (
     Fabric,
     KIND_CONTROL,
     KIND_REPLY,
-    KIND_REQUEST,
     Port,
 )
 from repro.rts.executor import SpmdExecutor, SpmdHandle
 from repro.rts.interface import MessagePassingRTS
-from repro.rts.mpi import GroupAbortedError, Intracomm
+from repro.rts.mpi import DeadlockError, GroupAbortedError, Intracomm
 
 #: Control payloads on the request port.
 CONTROL_SHUTDOWN = b"shutdown"
+
+#: Tag for pre-read request headers relayed rank 0 → peers (kept far
+#: from application tags, like the RTS chunk tag in
+#: :mod:`repro.rts.interface`).
+_TAG_HEADER = 1 << 22
+
+#: How many decoded requests rank 0 reads ahead of execution.  Beyond
+#: this, frames back up in the request port undecoded.
+_PREFETCH_DEPTH = 2
+
+#: Reply staging buffers rotated per request on rank 0.  Must exceed
+#: the number of encoded replies alive at once: one being produced,
+#: :data:`_REPLY_QUEUE_DEPTH` queued, one on the wire.
+_STAGING_ROTATION = 4
+
+#: Encoded replies the sender thread may hold before the dispatch
+#: loop blocks handing it more.
+_REPLY_QUEUE_DEPTH = 2
 
 
 @dataclass
@@ -250,6 +268,10 @@ class _ServerEngine:
     def __init__(self, ctx: ServantContext, servant: Servant) -> None:
         self.ctx = ctx
         self.servant = servant
+        #: Set on rank 0 of collective groups: replies leave through a
+        #: dedicated sender thread instead of the dispatch loop.
+        self.reply_sender: _ReplySender | None = None
+        self._staging_seq = 0
 
     # -- shared ----------------------------------------------------------
 
@@ -257,6 +279,18 @@ class _ServerEngine:
         if self.ctx.rts is None:
             return value
         return self.ctx.rts.broadcast(value, root=0)
+
+    def _staging_name(self, name: str) -> str:
+        """The reply staging buffer for parameter ``name``.
+
+        With a reply sender, the encoded body (which references the
+        staging array) outlives this request's dispatch, so buffers
+        rotate: by the time a name repeats, its previous reply is
+        guaranteed off the wire (the sender queue is shorter than the
+        rotation)."""
+        if self.reply_sender is None:
+            return name
+        return f"{name}#{self._staging_seq % _STAGING_ROTATION}"
 
     def _reply(self, request: RequestMessage, reply: ReplyMessage) -> None:
         if self.ctx.rank != 0 or request.oneway:
@@ -268,7 +302,14 @@ class _ServerEngine:
             self.ctx.tracer.emit(
                 "net-reply", request.mode, len(reply.body)
             )
-        port.send(request.reply_port, reply.encode_segments(), KIND_REPLY)
+        if self.reply_sender is not None:
+            self.reply_sender.submit(
+                port, request.reply_port, reply.encode_segments()
+            )
+        else:
+            port.send(
+                request.reply_port, reply.encode_segments(), KIND_REPLY
+            )
 
     def _server_layout_for(
         self, operation: str, param: str, length: int
@@ -280,6 +321,7 @@ class _ServerEngine:
         )
 
     def execute(self, request: RequestMessage) -> None:
+        self._staging_seq += 1
         spec = _resolve_spec(self.servant, request.operation)
         if spec is None:
             self._reply(
@@ -433,7 +475,9 @@ class _ServerEngine:
                     root=0,
                     out=(
                         staging_array(
-                            slot.name, value.length(), value.dtype
+                            self._staging_name(slot.name),
+                            value.length(),
+                            value.dtype,
                         )
                         if ctx.rank == 0
                         else None
@@ -599,6 +643,200 @@ class _ServerEngine:
 
 
 # ---------------------------------------------------------------------------
+# Pipelined dispatch: prefetch, deferred replies, serial worker pool
+# ---------------------------------------------------------------------------
+
+
+class _RequestPrefetcher:
+    """Rank 0's receive/decode stage, overlapped with execution.
+
+    A dedicated thread blocks on the request port, decodes each frame,
+    relays the header to the peer ranks (buffered point-to-point on
+    the group communicator, so the header of request N+1 is already
+    delivered while every rank still executes N) and queues the full
+    message for the dispatch loop.  The queue is bounded: when the
+    group falls behind, frames back up undecoded in the port rather
+    than as decoded messages here.
+
+    Relay strictly precedes the local enqueue, so whenever rank 0
+    holds a message its header is already buffered at every peer —
+    the invariant :meth:`ServantGroup._next_request` and
+    ``service_pending`` rely on to stay rank-consistent.
+    """
+
+    _STOP = object()
+
+    def __init__(
+        self,
+        port: Port,
+        comm: Intracomm | None,
+        name: str,
+        depth: int = _PREFETCH_DEPTH,
+    ) -> None:
+        self._port = port
+        self._comm = comm
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=depth)
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}:prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def _relay(self, header: RequestMessage | None) -> None:
+        if self._comm is None:
+            return
+        try:
+            for peer in range(1, self._comm.size):
+                self._comm.send(header, peer, tag=_TAG_HEADER)
+        except Exception:
+            # Aborted group: the dispatch loops are unwinding anyway.
+            pass
+
+    def _run(self) -> None:
+        while True:
+            try:
+                _src, kind, payload = self._port.recv(timeout=None)
+            except Exception:
+                break  # port closed: shut the group down
+            if kind == KIND_CONTROL and payload == CONTROL_SHUTDOWN:
+                break
+            try:
+                message = wire.decode_request(payload)
+            except Exception:
+                # Garbage on the wire must not kill the object: drop
+                # the datagram and keep serving.
+                continue
+            self._relay(message.without_body())
+            self._queue.put(message)
+        self._relay(None)
+        self._queue.put(self._STOP)
+
+    def get(self) -> RequestMessage | None:
+        """Next pre-read request; ``None`` once shut down (sticky)."""
+        item = self._queue.get()
+        if item is self._STOP:
+            self._queue.put(self._STOP)
+            return None
+        return item
+
+    def try_get(self) -> RequestMessage | None:
+        """Non-blocking :meth:`get` for ``service_pending``."""
+        try:
+            item = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if item is self._STOP:
+            self._queue.put(self._STOP)
+            return None
+        return item
+
+    def join(self, timeout: float = 1.0) -> None:
+        self._thread.join(timeout)
+
+
+class _ReplySender:
+    """Moves reply transmission off the dispatch critical path.
+
+    Rank 0 of a collective group hands encoded reply segments to this
+    thread and returns to the dispatch loop immediately; the bounded
+    queue keeps only a couple of encoded replies alive at once, which
+    the engine matches with rotated staging buffers
+    (:meth:`_ServerEngine._staging_name`).
+    """
+
+    def __init__(self, name: str, depth: int = _REPLY_QUEUE_DEPTH) -> None:
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=depth)
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}:reply", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, port: Port, destination: Any, segments: list) -> None:
+        self._queue.put((port, destination, segments))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            port, destination, segments = item
+            try:
+                port.send(destination, segments, KIND_REPLY)
+            except Exception:
+                # The client went away; its reply is undeliverable.
+                pass
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._queue.put(None)
+        self._thread.join(timeout)
+
+
+class _DispatchPool:
+    """Concurrent dispatch for serial (single-thread) groups.
+
+    Two policies, selected per object:
+
+    - ``"client-fifo"`` (the default): requests are hashed onto a
+      worker by the client identity in the request id's high bits —
+      one client's requests execute in send order, different clients'
+      requests overlap.
+    - ``"concurrent"``: all workers drain one shared queue, so even a
+      single pipelined client's requests execute concurrently, like a
+      CORBA ORB-controlled-threads POA.  No cross-request ordering is
+      guaranteed; meant for stateless or internally synchronized
+      servants.
+
+    Collective groups never use the pool; their engine runs
+    collectives that need every rank in lockstep.
+    """
+
+    def __init__(
+        self,
+        engine: _ServerEngine,
+        nworkers: int,
+        name: str,
+        policy: str = "client-fifo",
+    ) -> None:
+        self._engine = engine
+        nqueues = 1 if policy == "concurrent" else nworkers
+        self._queues: list[queue.Queue] = [
+            queue.Queue() for _ in range(nqueues)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._run,
+                args=(self._queues[i % nqueues],),
+                name=f"{name}:dispatch{i}",
+                daemon=True,
+            )
+            for i in range(nworkers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def dispatch(self, request: RequestMessage) -> None:
+        index = (request.request_id >> 32) % len(self._queues)
+        self._queues[index].put(request)
+
+    def _run(self, q: queue.Queue) -> None:
+        while True:
+            request = q.get()
+            if request is None:
+                return
+            try:
+                self._engine.execute(request)
+            except Exception:
+                # Even the error reply failed to send (client gone):
+                # there is nobody left to report to.
+                pass
+
+    def stop(self, timeout: float = 10.0) -> None:
+        for i in range(len(self._threads)):
+            self._queues[i % len(self._queues)].put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+
+# ---------------------------------------------------------------------------
 # The servant group: activation + dispatch loop
 # ---------------------------------------------------------------------------
 
@@ -625,6 +863,8 @@ class ObjectAdapter:
         templates: dict[tuple[str, str], Any] | None = None,
         tracer: Tracer | None = None,
         rts_style: str = "message-passing",
+        dispatch_workers: int = 4,
+        dispatch_policy: str = "client-fifo",
     ) -> "ServantGroup":
         group = ServantGroup(
             self.fabric,
@@ -637,6 +877,8 @@ class ObjectAdapter:
             templates=templates,
             tracer=tracer,
             rts_style=rts_style,
+            dispatch_workers=dispatch_workers,
+            dispatch_policy=dispatch_policy,
         )
         group.start()
         self._groups.append(group)
@@ -664,10 +906,27 @@ class ServantGroup:
         templates: dict[tuple[str, str], Any] | None = None,
         tracer: Tracer | None = None,
         rts_style: str = "message-passing",
+        dispatch_workers: int = 4,
+        dispatch_policy: str = "client-fifo",
     ) -> None:
         if nthreads <= 0:
             raise ValueError("an SPMD object needs at least one thread")
+        if dispatch_workers <= 0:
+            raise ValueError("dispatch_workers must be positive")
+        if dispatch_policy not in ("client-fifo", "concurrent"):
+            raise ValueError(
+                "dispatch_policy must be 'client-fifo' or 'concurrent'"
+            )
         self.rts_style = rts_style
+        #: Worker threads for serial groups (``nthreads == 1``): with
+        #: the default ``"client-fifo"`` policy one client's requests
+        #: execute in send order while different clients overlap;
+        #: ``"concurrent"`` drops the per-client ordering so even one
+        #: pipelined client's requests overlap.  ``dispatch_workers=1``
+        #: restores strictly serial dispatch.  Ignored by collective
+        #: groups.
+        self._dispatch_workers = dispatch_workers
+        self._dispatch_policy = dispatch_policy
         self.fabric = fabric
         self.naming = naming
         self.name = name
@@ -773,19 +1032,36 @@ class ServantGroup:
             self._repo_id = servant._repo_id
             self._started.set()
         engine = _ServerEngine(ctx, servant)
+        prefetcher: _RequestPrefetcher | None = None
+        pool: _DispatchPool | None = None
+        if rank_ctx.rank == 0:
+            assert self._request_port is not None
+            prefetcher = _RequestPrefetcher(
+                self._request_port, ctx.comm, f"server:{self.name}"
+            )
+            if ctx.rts is not None:
+                # Collective group: reply transmission moves off the
+                # dispatch loop's (and thus the servant's) critical
+                # path.
+                engine.reply_sender = _ReplySender(f"server:{self.name}")
+            elif self._dispatch_workers > 1:
+                # Serial group: no collectives constrain execution
+                # order, so independent clients' requests overlap on a
+                # small pool.
+                pool = _DispatchPool(
+                    engine,
+                    self._dispatch_workers,
+                    f"server:{self.name}",
+                    policy=self._dispatch_policy,
+                )
 
         def service_pending(max_requests: int) -> int:
             """Drain already-queued requests mid-computation (§2.1)."""
             processed = 0
             while processed < max_requests:
                 if ctx.rank == 0:
-                    assert ctx.request_port is not None
-                    item = ctx.request_port.try_recv(kind=KIND_REQUEST)
-                    message = (
-                        wire.decode_request(item[2])
-                        if item is not None
-                        else None
-                    )
+                    assert prefetcher is not None
+                    message = prefetcher.try_get()
                 else:
                     message = None
                 if ctx.rts is not None:
@@ -800,6 +1076,13 @@ class ServantGroup:
                     received = ctx.rts.broadcast(outgoing, root=0)
                     if ctx.rank != 0:
                         message = received
+                        if message is not None:
+                            # Pop (and discard) the copy the
+                            # prefetcher relayed for this request,
+                            # keeping the header stream aligned with
+                            # the dispatch loop.  Guaranteed buffered:
+                            # relay precedes rank 0's enqueue.
+                            ctx.comm.recv(source=0, tag=_TAG_HEADER)
                 if message is None:
                     break
                 engine.execute(message)
@@ -808,55 +1091,48 @@ class ServantGroup:
 
         ctx.service_fn = service_pending
         served = 0
-        while True:
-            request = self._next_request(ctx)
-            if request is None:
-                break
-            engine.execute(request)
-            served += 1
+        try:
+            while True:
+                request = self._next_request(ctx, prefetcher)
+                if request is None:
+                    break
+                if pool is not None:
+                    pool.dispatch(request)
+                else:
+                    engine.execute(request)
+                served += 1
+        finally:
+            if pool is not None:
+                pool.stop()
+            if engine.reply_sender is not None:
+                engine.reply_sender.stop()
+            if prefetcher is not None:
+                prefetcher.join()
         return served
 
     def _next_request(
-        self, ctx: ServantContext
+        self,
+        ctx: ServantContext,
+        prefetcher: _RequestPrefetcher | None,
     ) -> RequestMessage | None:
-        """Rank 0 receives; all ranks learn the request by broadcast —
-        "capable of satisfying services if and only if a request for
-        them is delivered to all the computing threads" (§2)."""
+        """Rank 0 takes the next pre-read request from the prefetcher;
+        the peers take the header it already relayed — "delivered to
+        all the computing threads" (§2), with the receive/decode stage
+        of request N+1 overlapped with the execution of N."""
         if ctx.rank == 0:
-            assert ctx.request_port is not None
-            message: RequestMessage | None = None
-            while True:
-                try:
-                    _src, kind, payload = ctx.request_port.recv(
-                        timeout=None
-                    )
-                except Exception:
-                    kind, payload = KIND_CONTROL, CONTROL_SHUTDOWN
-                if kind == KIND_CONTROL and payload == CONTROL_SHUTDOWN:
-                    break
-                try:
-                    message = wire.decode_request(payload)
-                except Exception:
-                    # Garbage on the wire must not kill the object:
-                    # drop the datagram and keep serving.
-                    continue
-                break
-        else:
-            message = None
-        if ctx.rts is not None:
-            # Only the header crosses to the peer ranks — rank 0 keeps
-            # the original message whose body is a view into the
-            # receive buffer (unpicklable, and only rank 0 decodes it).
-            outgoing = (
-                message.without_body() if message is not None else None
-            )
+            assert prefetcher is not None
+            return prefetcher.get()
+        while True:
             try:
-                received = ctx.rts.broadcast(outgoing, root=0)
+                return ctx.comm.recv(source=0, tag=_TAG_HEADER)
+            except DeadlockError:
+                # An idle object, not a deadlock: no request arrived
+                # for a whole timeout window.  Keep waiting — a dying
+                # rank aborts the group and raises GroupAbortedError
+                # here instead.
+                continue
             except GroupAbortedError:
                 return None
-            if ctx.rank != 0:
-                message = received
-        return message
 
     def shutdown(self, timeout: float = 30.0) -> None:
         """Stop the dispatch loops and unregister."""

@@ -27,7 +27,9 @@ from __future__ import annotations
 import enum
 import itertools
 import queue
+import random
 import threading
+from collections import deque
 from typing import Any, Callable
 
 from repro.orb.operation import OperationSpec, RemoteError
@@ -36,6 +38,7 @@ from repro.orb.transfer import (
     CentralizedTransfer,
     ChunkCollector,
     MultiPortTransfer,
+    ReplyDemux,
     Tracer,
     TransferEngine,
 )
@@ -111,12 +114,16 @@ class ClientRuntime:
         timeout: float = 60.0,
         label: str = "client",
         rts_style: str = "message-passing",
+        pipeline_depth: int = 8,
     ) -> None:
+        if pipeline_depth <= 0:
+            raise ValueError("pipeline_depth must be positive")
         self.fabric = fabric
         self.naming = naming
         self.app_comm = comm
         self.tracer = tracer
         self.timeout = timeout
+        self.pipeline_depth = pipeline_depth
         self.rank = 0 if comm is None else comm.rank
         self.size = 1 if comm is None else comm.size
         # A private communicator for ORB-internal collectives, so the
@@ -130,13 +137,29 @@ class ClientRuntime:
         self.reply_port = fabric.open_port(f"{label}:{self.rank}:reply")
         self.data_port = fabric.open_port(f"{label}:{self.rank}:data")
         self.collector = ChunkCollector(self.data_port)
+        self.demux = ReplyDemux(self.reply_port)
         if comm is None:
             self.data_port_addresses = (self.data_port.address,)
         else:
             self.data_port_addresses = tuple(
                 comm.allgather(self.data_port.address)
             )
-        self._request_ids = itertools.count(1)
+        # Request ids carry a random per-runtime base in the high 32
+        # bits: concurrent clients of one object then never collide on
+        # the server's demultiplexing keys, and the base doubles as a
+        # client identity for the server's per-client dispatch order.
+        # Collective runtimes must share ONE sequence — the multi-port
+        # engine tags every rank's chunks with its locally drawn id and
+        # the server matches them against the id in rank 0's header —
+        # so rank 0 draws the base and broadcasts it.
+        if comm is None:
+            base = random.getrandbits(31) << 32
+        else:
+            base = comm.bcast(
+                random.getrandbits(31) << 32 if self.rank == 0 else None,
+                root=0,
+            )
+        self._request_ids = itertools.count(base + 1)
         self._worker: _InvocationWorker | None = None
         self._closed = False
 
@@ -161,6 +184,7 @@ class ClientRuntime:
         view.app_comm = None
         view.tracer = self.tracer
         view.timeout = self.timeout
+        view.pipeline_depth = self.pipeline_depth
         view.rank = 0
         view.size = 1
         view.orb_comm = None
@@ -168,6 +192,7 @@ class ClientRuntime:
         view.reply_port = self.reply_port
         view.data_port = self.data_port
         view.collector = self.collector
+        view.demux = self.demux
         view.data_port_addresses = (self.data_port.address,)
         view._request_ids = self._request_ids
         view._closed = False
@@ -179,12 +204,18 @@ class ClientRuntime:
     def worker(self) -> "_InvocationWorker":
         if self._worker is None:
             self._worker = _InvocationWorker(
-                f"pardis-worker-{self.rank}"
+                f"pardis-worker-{self.rank}",
+                depth=self.pipeline_depth,
             )
         return self._worker
 
     def close(self) -> None:
-        """Release ports and stop the worker (idempotent)."""
+        """Release ports and stop the worker (idempotent).
+
+        The worker first drains in-flight completions, so every
+        launched request still resolves its future before the ports
+        disappear under it.
+        """
         if self._closed:
             return
         self._closed = True
@@ -201,45 +232,118 @@ class ClientRuntime:
 
 
 class _InvocationWorker:
-    """A per-rank FIFO executor for invocations.
+    """A per-rank pipelined executor for invocations.
 
-    All invocations — blocking and non-blocking — run here in enqueue
-    order, which is program order, which under the SPMD assumption is
-    identical on every rank: the collectives inside the engines can
-    therefore never cross-match between two outstanding requests.
+    All invocations — blocking and non-blocking — are *launched* here
+    in enqueue order, which is program order, which under the SPMD
+    assumption is identical on every rank.  A launch runs only the
+    engine's send phase (``invoke_begin``); up to ``depth`` requests
+    may then be in flight, their deferred completions (reply receive,
+    reply-side collectives, result composition) queued on a pending
+    deque.  Completions drain strictly in launch order, triggered by
+    exactly three queue-driven events: the pipeline is full, a reader
+    touched a future (the flush marker the future's demand hook
+    enqueues), or the worker is stopping.
+
+    Both the launch order and the drain policy are functions of the
+    queue contents alone — never of timing — so the per-rank sequence
+    of engine collectives is identical on every rank and collective
+    operations of different outstanding requests can never
+    cross-match.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, depth: int = 8) -> None:
+        if depth <= 0:
+            raise ValueError("pipeline depth must be positive")
+        self.depth = depth
         self._queue: queue.Queue = queue.Queue()
         self._stopped = False
+        #: Launched-but-uncompleted requests: (complete, future).
+        self._pending: deque[tuple[Callable[[], Any], Future]] = deque()
         self._thread = threading.Thread(
             target=self._run, name=name, daemon=True
         )
         self._thread.start()
 
+    def in_flight(self) -> int:
+        """How many launched requests await completion (worker-thread
+        accurate; advisory elsewhere)."""
+        return len(self._pending)
+
+    def _drain_one(self) -> None:
+        complete, future = self._pending.popleft()
+        try:
+            future.set_result(complete())
+        except BaseException as exc:  # noqa: BLE001 - to the future
+            future.set_exception(exc)
+
+    def _drain_through(self, target: Future) -> None:
+        """Complete pending requests up to and including ``target``.
+
+        A no-op when the target is not pending (already resolved —
+        e.g. drained earlier by a full pipeline); completions that
+        would then run here already ran at that earlier, equally
+        queue-determined point.
+        """
+        if not any(fut is target for _, fut in self._pending):
+            return
+        while self._pending:
+            _, fut = self._pending[0]
+            self._drain_one()
+            if fut is target:
+                return
+
     def _run(self) -> None:
         while True:
             item = self._queue.get()
             if item is None:
-                return
-            fn, future = item
+                break
+            if item[0] == "flush":
+                self._drain_through(item[1])
+                continue
+            _kind, fn, future = item
+            # Admission: never more than ``depth`` in flight.
+            while len(self._pending) >= self.depth:
+                self._drain_one()
             try:
-                future.set_result(fn())
+                state, payload = fn()
             except BaseException as exc:  # noqa: BLE001 - to the future
                 future.set_exception(exc)
+                continue
+            if state == "done":
+                future.set_result(payload)
+            else:
+                self._pending.append((payload, future))
+        # Shutdown: every launched request still gets its completion.
+        while self._pending:
+            self._drain_one()
 
     def submit(self, fn: Callable[[], Any], label: str) -> Future:
+        """Enqueue a launch; ``fn()`` must return the engine's
+        ``("done", value)`` / ``("pending", complete)`` pair."""
         if self._stopped:
             raise RuntimeError(
                 "client runtime is closed; no further invocations"
             )
         future = Future(label)
-        self._queue.put((fn, future))
+        future._pre_wait = self._request_flush
+        self._queue.put(("invoke", fn, future))
         return future
 
-    def stop(self) -> None:
+    def _request_flush(self, future: Future) -> None:
+        """Demand hook: a reader is about to block on ``future``."""
+        if self._stopped or threading.current_thread() is self._thread:
+            return
+        self._queue.put(("flush", future))
+
+    def stop(self, join_timeout: float | None = 10.0) -> None:
         self._stopped = True
         self._queue.put(None)
+        if (
+            join_timeout is not None
+            and threading.current_thread() is not self._thread
+        ):
+            self._thread.join(join_timeout)
 
 
 class ClientProxy:
@@ -429,7 +533,14 @@ class ClientProxy:
         )
 
     def _invoke_nb(self, operation: str, args: tuple) -> Future:
-        """Non-blocking invocation returning a future (§2.1)."""
+        """Non-blocking invocation returning a future (§2.1).
+
+        The worker launches the request (send phase) as soon as it
+        reaches the head of the queue — up to the runtime's
+        ``pipeline_depth`` requests overlap their round-trips — and
+        completes it when the future is touched, the pipeline fills,
+        or the runtime closes.
+        """
         spec = self._spec(operation)
         self._check_serial_args(spec, args)
         runtime = self._runtime
@@ -441,7 +552,7 @@ class ClientProxy:
             if op == operation
         }
         return runtime.worker.submit(
-            lambda: engine.invoke(
+            lambda: engine.invoke_begin(
                 runtime, ref, spec, args, out_templates=out_map
             ),
             label=f"{self._interface}.{operation}",

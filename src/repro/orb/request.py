@@ -103,7 +103,7 @@ class RequestMessage:
     def encode_segments(self) -> list[Any]:
         """The wire form as a buffer list (no payload flatten)."""
         enc = CdrEncoder()
-        enc.write_ulong(self.request_id)
+        enc.write(_TC_ULONGLONG, self.request_id)
         enc.write_string(self.object_key)
         enc.write_string(self.operation)
         enc.write_string(self.mode)
@@ -155,7 +155,7 @@ class RequestMessage:
 def decode_request(data: bytes) -> RequestMessage:
     """Parse a request message off the wire."""
     dec = CdrDecoder(data)
-    request_id = dec.read_ulong()
+    request_id = int(dec.read(_TC_ULONGLONG))
     object_key = dec.read_string()
     operation = dec.read_string()
     mode = dec.read_string()
@@ -224,7 +224,7 @@ class ReplyMessage:
     def encode_segments(self) -> list[Any]:
         """The wire form as a buffer list (no payload flatten)."""
         enc = CdrEncoder()
-        enc.write_ulong(self.request_id)
+        enc.write(_TC_ULONGLONG, self.request_id)
         enc.write_ulong(self.status)
         enc.write_ulong(len(self.dist_layouts))
         for name, client_lengths, server_lengths in self.dist_layouts:
@@ -251,7 +251,7 @@ class ReplyMessage:
 def decode_reply(data: bytes) -> ReplyMessage:
     """Parse a reply message off the wire."""
     dec = CdrDecoder(data)
-    request_id = dec.read_ulong()
+    request_id = int(dec.read(_TC_ULONGLONG))
     status = dec.read_ulong()
     if status not in (
         STATUS_OK,
@@ -300,7 +300,7 @@ class DataChunk:
         """The wire form as a buffer list — the payload view rides
         along by reference, so a chunk send never copies the data."""
         enc = CdrEncoder()
-        enc.write_ulong(self.request_id)
+        enc.write(_TC_ULONGLONG, self.request_id)
         enc.write_string(self.param)
         enc.write_ulong(self.phase)
         enc.write_ulong(self.src_rank)
@@ -332,7 +332,7 @@ class DataChunk:
 def decode_chunk(data: bytes) -> DataChunk:
     """Parse a data-chunk message off the wire."""
     dec = CdrDecoder(data)
-    request_id = dec.read_ulong()
+    request_id = int(dec.read(_TC_ULONGLONG))
     param = dec.read_string()
     phase = dec.read_ulong()
     if phase not in (PHASE_REQUEST, PHASE_REPLY):

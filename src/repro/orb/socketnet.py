@@ -86,6 +86,16 @@ class _FrameTooLarge(MarshalError):
         self.length = length
 
 
+def _tune_socket(sock: socket.socket) -> None:
+    """Disable Nagle: frames mix small headers with large payloads,
+    and a delayed-ACK/Nagle interaction stalls a pipelined stream for
+    tens of milliseconds per small frame."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not a TCP socket (tests may hand in a pipe/mock)
+
+
 def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
     """Fill ``view`` completely from the socket (one buffer, no
     chunk-list or join — the single kernel→user copy of the receive
@@ -334,6 +344,7 @@ class SocketFabric:
             # peer must not stall every other sender on this fabric.
             try:
                 fresh = socket.create_connection(endpoint, timeout=10)
+                _tune_socket(fresh)
             except OSError as exc:
                 raise TransportError(
                     f"cannot reach {endpoint[0]}:{endpoint[1]}: {exc}"
@@ -365,6 +376,7 @@ class SocketFabric:
                 conn, _peer = self._server.accept()
             except OSError:
                 return  # server socket closed
+            _tune_socket(conn)
             threading.Thread(
                 target=self._reader_loop,
                 args=(conn,),

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import sys
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -72,6 +74,7 @@ from repro.orb.transport import (
     KIND_REPLY,
     KIND_REQUEST,
     Port,
+    TransportError,
 )
 
 _NATIVE_LITTLE = sys.byteorder == "little"
@@ -204,18 +207,53 @@ class ChunkCollector:
     """Receives data chunks on a port, holding unmatched ones.
 
     Chunks for different requests and parameters interleave freely on
-    a port (several clients may be mid-transfer); the collector files
-    each by ``(request id, param, phase)`` so an engine can wait for
+    a port (several clients may be mid-transfer, and a pipelined
+    client has several requests in flight); the collector files each
+    by ``(request id, param, phase)`` so an engine can wait for
     exactly the set its transfer schedule predicts.
+
+    Thread-safe: several threads may collect different keys
+    concurrently (the server's dispatch pool does).  At most one of
+    them receives from the port at a time, filing chunks for every
+    waiter; the others block on the condition until their key fills
+    or the receiver role frees up.
+
+    A failed ``collect`` (timeout, closed port, decode error) evicts
+    its partial entry, and :meth:`discard` retires a request id so
+    late chunks for an abandoned request are dropped on arrival
+    instead of accumulating forever.
     """
+
+    #: How many discarded request ids to remember.
+    MAX_RETIRED = 1024
 
     def __init__(self, port: Port) -> None:
         self._port = port
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         self._pending: dict[tuple[int, str, int], list[DataChunk]] = {}
+        self._receiving = False
+        self._retired: OrderedDict[int, None] = OrderedDict()
 
     @property
     def port(self) -> Port:
         return self._port
+
+    def pending_entries(self) -> int:
+        """How many (request, param, phase) entries are held."""
+        with self._lock:
+            return len(self._pending)
+
+    def discard(self, request_id: int) -> None:
+        """Evict all chunks of an abandoned request and drop its late
+        arrivals from now on."""
+        with self._cond:
+            for key in [k for k in self._pending if k[0] == request_id]:
+                del self._pending[key]
+            self._retired[request_id] = None
+            self._retired.move_to_end(request_id)
+            while len(self._retired) > self.MAX_RETIRED:
+                self._retired.popitem(last=False)
 
     def collect(
         self,
@@ -225,18 +263,143 @@ class ChunkCollector:
         expected: int,
         timeout: float = 60.0,
     ) -> list[DataChunk]:
-        """Block until ``expected`` chunks for the key have arrived."""
+        """Block until ``expected`` chunks for the key have arrived.
+
+        On failure the key's partial entry is evicted, so a timed-out
+        request can never strand chunks in the collector."""
         key = (request_id, param, phase)
-        have = self._pending.setdefault(key, [])
-        while len(have) < expected:
-            _src, _kind, payload = self._port.recv(
-                kind=KIND_DATA, timeout=timeout
+        deadline = time.monotonic() + timeout
+        try:
+            while True:
+                with self._cond:
+                    have = self._pending.get(key)
+                    if have is not None and len(have) >= expected:
+                        return self._pending.pop(key)
+                    if expected <= 0:
+                        return []
+                    if self._receiving:
+                        # Someone else is on the port; it will file our
+                        # chunks and notify.
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TransportError(
+                                f"timed out collecting chunks for "
+                                f"request {request_id} ('{param}')"
+                            )
+                        self._cond.wait(remaining)
+                        continue
+                    self._receiving = True
+                try:
+                    self._receive_one(deadline, request_id, param)
+                finally:
+                    with self._cond:
+                        self._receiving = False
+                        self._cond.notify_all()
+        except BaseException:
+            with self._cond:
+                self._pending.pop(key, None)
+            raise
+
+    def _receive_one(
+        self, deadline: float, request_id: int, param: str
+    ) -> None:
+        """Receive and file the next chunk off the port."""
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TransportError(
+                f"timed out collecting chunks for request "
+                f"{request_id} ('{param}')"
             )
-            chunk = wire.decode_chunk(payload)
-            self._pending.setdefault(
-                (chunk.request_id, chunk.param, chunk.phase), []
-            ).append(chunk)
-        return self._pending.pop(key)
+        _src, _kind, payload = self._port.recv(
+            kind=KIND_DATA, timeout=remaining
+        )
+        chunk = wire.decode_chunk(payload)
+        with self._cond:
+            if chunk.request_id not in self._retired:
+                self._pending.setdefault(
+                    (chunk.request_id, chunk.param, chunk.phase), []
+                ).append(chunk)
+            self._cond.notify_all()
+
+
+class ReplyDemux:
+    """Files replies by request id so several can be in flight (§2.1).
+
+    The pipelined client keeps multiple requests outstanding on one
+    reply port; their replies may come back in any order (different
+    objects answer at different speeds).  ``wait(request_id)``
+    receives from the port, returning the reply for the asked id and
+    filing every other one for its own later ``wait``.
+
+    The invocation worker is the single consumer, so no receiver
+    arbitration is needed; the lock protects ``discard`` calls from
+    other threads (close/error paths).  Discarded ids are remembered
+    so an abandoned request's late reply is dropped, not leaked.
+    """
+
+    #: How many discarded request ids to remember.
+    MAX_RETIRED = 1024
+
+    def __init__(self, port: Port) -> None:
+        self._port = port
+        self._lock = threading.Lock()
+        self._filed: dict[int, ReplyMessage] = {}
+        self._retired: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def port(self) -> Port:
+        return self._port
+
+    def outstanding(self) -> int:
+        """How many unclaimed replies are filed."""
+        with self._lock:
+            return len(self._filed)
+
+    def poll(self, request_id: int) -> ReplyMessage | None:
+        """The filed reply for ``request_id``, if it already arrived."""
+        with self._lock:
+            return self._filed.pop(request_id, None)
+
+    def wait(
+        self, request_id: int, timeout: float | None = 60.0
+    ) -> ReplyMessage:
+        """Block until the reply for ``request_id`` arrives, filing
+        replies for other in-flight requests along the way."""
+        with self._lock:
+            reply = self._filed.pop(request_id, None)
+        if reply is not None:
+            return reply
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            remaining = (
+                None if deadline is None
+                else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise TransportError(
+                    f"timed out waiting for the reply to request "
+                    f"{request_id}"
+                )
+            _src, _kind, payload = self._port.recv(
+                kind=KIND_REPLY, timeout=remaining
+            )
+            reply = wire.decode_reply(payload)
+            if reply.request_id == request_id:
+                return reply
+            with self._lock:
+                if reply.request_id not in self._retired:
+                    self._filed[reply.request_id] = reply
+
+    def discard(self, request_id: int) -> None:
+        """Forget an abandoned request; drop its late reply."""
+        with self._lock:
+            self._filed.pop(request_id, None)
+            self._retired[request_id] = None
+            self._retired.move_to_end(request_id)
+            while len(self._retired) > self.MAX_RETIRED:
+                self._retired.popitem(last=False)
 
 
 def assemble_chunks(
@@ -576,6 +739,33 @@ class TransferEngine:
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
     ) -> Any:
+        """One complete invocation: send, then wait for the reply."""
+        kind, payload = self.invoke_begin(
+            runtime, ref, spec, args, out_templates
+        )
+        if kind == "done":
+            return payload
+        return payload()
+
+    def invoke_begin(
+        self,
+        runtime: "ClientRuntimeLike",
+        ref: ObjectReference,
+        spec: OperationSpec,
+        args: tuple,
+        out_templates: dict[str, tuple] | None = None,
+    ) -> tuple[str, Any]:
+        """Put the request on the wire; defer the reply.
+
+        Returns ``("done", value)`` when the invocation finished
+        outright (oneway), else ``("pending", complete)`` where
+        ``complete()`` receives the reply and composes the result.
+        The pipelined invocation worker calls ``invoke_begin`` for
+        request N+1 as soon as request N's send phase returned,
+        overlapping the network round-trips; completions run in launch
+        order, so the collective phases inside ``complete`` stay in
+        program order on every rank.
+        """
         raise NotImplementedError
 
 
@@ -584,14 +774,14 @@ class CentralizedTransfer(TransferEngine):
 
     mode = wire.MODE_CENTRALIZED
 
-    def invoke(
+    def invoke_begin(
         self,
         runtime: "ClientRuntimeLike",
         ref: ObjectReference,
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
-    ) -> Any:
+    ) -> tuple[str, Any]:
         tracer = runtime.tracer
         req_slots = request_slots(spec)
         if len(args) != len(req_slots):
@@ -640,7 +830,6 @@ class CentralizedTransfer(TransferEngine):
                 ),
             )
 
-        reply = None
         if runtime.rank == 0:
             values = {
                 s.name: (
@@ -667,27 +856,29 @@ class CentralizedTransfer(TransferEngine):
             runtime.reply_port.send(
                 ref.request_port, message.encode_segments(), KIND_REQUEST
             )
-            if not spec.oneway:
-                _src, _kind, payload = runtime.reply_port.recv(
-                    kind=KIND_REPLY, timeout=runtime.timeout
-                )
-                reply = wire.decode_reply(payload)
-                if reply.request_id != request_id:
-                    raise RemoteError(
-                        f"reply for request {reply.request_id} arrived "
-                        f"while waiting for {request_id}",
-                        category="INTERNAL",
-                    )
-                if tracer:
-                    tracer.emit("net-reply", self.mode, len(reply.body))
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
-            return None
-        return self._deliver_reply(
-            runtime, spec, reply, args_by_name, tracer,
-            out_templates or {},
-        )
+            return ("done", None)
+
+        def complete() -> Any:
+            reply = None
+            if runtime.rank == 0:
+                try:
+                    reply = runtime.demux.wait(
+                        request_id, timeout=runtime.timeout
+                    )
+                except BaseException:
+                    runtime.demux.discard(request_id)
+                    raise
+                if tracer:
+                    tracer.emit("net-reply", self.mode, len(reply.body))
+            return self._deliver_reply(
+                runtime, spec, reply, args_by_name, tracer,
+                out_templates or {},
+            )
+
+        return ("pending", complete)
 
     def _deliver_reply(
         self,
@@ -787,14 +978,14 @@ class MultiPortTransfer(TransferEngine):
 
     mode = wire.MODE_MULTIPORT
 
-    def invoke(
+    def invoke_begin(
         self,
         runtime: "ClientRuntimeLike",
         ref: ObjectReference,
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
-    ) -> Any:
+    ) -> tuple[str, Any]:
         if not ref.multiport_capable:
             raise RemoteError(
                 f"object '{ref.object_key}' does not advertise data "
@@ -879,21 +1070,37 @@ class MultiPortTransfer(TransferEngine):
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
-            return None
+            return ("done", None)
 
-        # Reply: header centralized, data chunks direct.
-        reply = None
-        if runtime.rank == 0:
-            _src, _kind, payload = runtime.reply_port.recv(
-                kind=KIND_REPLY, timeout=runtime.timeout
-            )
-            reply = wire.decode_reply(payload)
-            if reply.request_id != request_id:
-                raise RemoteError(
-                    f"reply for request {reply.request_id} arrived "
-                    f"while waiting for {request_id}",
-                    category="INTERNAL",
+        def complete() -> Any:
+            try:
+                return self._complete(
+                    runtime, spec, request_id, args_by_name, tracer
                 )
+            except BaseException:
+                # Abandoned request: evict its chunks and drop any
+                # late reply so nothing accumulates.
+                if runtime.rank == 0:
+                    runtime.demux.discard(request_id)
+                runtime.collector.discard(request_id)
+                raise
+
+        return ("pending", complete)
+
+    def _complete(
+        self,
+        runtime: "ClientRuntimeLike",
+        spec: OperationSpec,
+        request_id: int,
+        args_by_name: dict[str, Any],
+        tracer: Tracer | None,
+    ) -> Any:
+        # Reply: header centralized, data chunks direct.
+        rts = runtime.rts
+        if runtime.rank == 0:
+            reply = runtime.demux.wait(
+                request_id, timeout=runtime.timeout
+            )
             if tracer:
                 tracer.emit("net-reply", self.mode, len(reply.body))
             # The multi-port reply body holds plain values only (bulk
@@ -983,6 +1190,7 @@ class ClientRuntimeLike:
     data_port: Port
     data_port_addresses: tuple
     collector: ChunkCollector
+    demux: ReplyDemux
     tracer: Tracer | None
     timeout: float
 

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dist import BlockTemplate, Layout, Proportions, transfer_schedule
+from repro.dist import (
+    BlockTemplate,
+    Layout,
+    Proportions,
+    clear_schedule_cache,
+    schedule_cache_stats,
+    transfer_schedule,
+)
 from repro.dist.schedule import steps_by_dst, steps_by_src
 from repro.dist.template import DistributionError
 
@@ -175,3 +182,66 @@ class TestScheduleProperties:
     def test_identity_schedule_is_all_local(self, layout):
         for step in transfer_schedule(layout, layout):
             assert step.src_rank == step.dst_rank
+
+
+class TestScheduleCache:
+    """The LRU over layout pairs (schedules are pure in the layouts)."""
+
+    def setup_method(self):
+        clear_schedule_cache()
+
+    def teardown_method(self):
+        clear_schedule_cache()
+
+    def test_second_lookup_hits(self):
+        src = BlockTemplate(4).layout(16)
+        dst = Layout(((0, 16),))
+        first = transfer_schedule(src, dst)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = transfer_schedule(src, dst)
+        stats = schedule_cache_stats()
+        assert stats["hits"] == 1 and stats["entries"] == 1
+        assert second == first
+
+    def test_direction_is_part_of_the_key(self):
+        a = BlockTemplate(2).layout(8)
+        b = Layout(((0, 8),))
+        transfer_schedule(a, b)
+        transfer_schedule(b, a)
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 2 and stats["entries"] == 2
+
+    def test_returned_list_is_caller_owned(self):
+        # Mutating what transfer_schedule returned must not poison
+        # later lookups of the same pair.
+        src = BlockTemplate(2).layout(8)
+        dst = Layout(((0, 8),))
+        stolen = transfer_schedule(src, dst)
+        pristine = list(stolen)
+        stolen.clear()
+        assert transfer_schedule(src, dst) == pristine
+
+    def test_eviction_is_least_recently_used(self):
+        from repro.dist.schedule import _schedule_cache
+
+        old_size = _schedule_cache.maxsize
+        _schedule_cache.maxsize = 2
+        try:
+            pairs = [
+                (Layout(((0, n),)), BlockTemplate(2).layout(n))
+                for n in (8, 12, 16)
+            ]
+            transfer_schedule(*pairs[0])
+            transfer_schedule(*pairs[1])
+            transfer_schedule(*pairs[0])  # refresh 0: now 1 is LRU
+            transfer_schedule(*pairs[2])  # evicts 1
+            assert schedule_cache_stats()["entries"] == 2
+            before = schedule_cache_stats()["hits"]
+            transfer_schedule(*pairs[0])
+            transfer_schedule(*pairs[2])
+            assert schedule_cache_stats()["hits"] == before + 2
+            transfer_schedule(*pairs[1])  # evicted: must recompute
+            assert schedule_cache_stats()["hits"] == before + 2
+        finally:
+            _schedule_cache.maxsize = old_size

@@ -1,0 +1,243 @@
+"""Pipelined non-blocking invocations end to end (ISSUE 3 tentpole).
+
+Covers the reply demultiplexer (replies arriving out of launch order
+resolve the right futures), interleaved multi-port chunk streams from
+concurrently in-flight requests, the ``pipeline_depth`` knob, and the
+serial dispatch pool's two ordering policies — over both the
+in-process fabric and real TCP loopback.
+"""
+
+import contextlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import ORB, compile_idl
+from repro.orb.naming import NamingService
+from repro.orb.socketnet import SocketFabric
+
+PIPE_IDL = """
+typedef dsequence<double> vec;
+
+interface pipe {
+    vec echo(in vec data);
+    double tag(in double x);
+};
+"""
+
+FABRICS = ["inproc", "socket"]
+
+
+@pytest.fixture(scope="module")
+def idl():
+    return compile_idl(PIPE_IDL, module_name="pipelining_idl")
+
+
+@contextlib.contextmanager
+def two_orbs(fabric):
+    """(server ORB, client ORB) joined by the requested fabric."""
+    if fabric == "inproc":
+        with ORB("pipeline-test") as orb:
+            yield orb, orb
+        return
+    naming = NamingService()
+    with SocketFabric("pipe-server") as sf, SocketFabric("pipe-client") as cf:
+        server = ORB("pipe-server", fabric=sf, naming=naming)
+        client = ORB("pipe-client", fabric=cf, naming=naming)
+        with server, client:
+            yield server, client
+
+
+def make_tagger(idl, record, gate=None):
+    class Tagger(idl.pipe_skel):
+        def echo(self, data):
+            return data
+
+        def tag(self, x):
+            if gate is not None:
+                gate.wait(timeout=20)
+            record.append(x)
+            return x
+
+    return Tagger
+
+
+class TestOutOfOrderReplies:
+    @pytest.mark.parametrize("fabric", FABRICS)
+    def test_reversed_reply_order_resolves_right_futures(self, idl, fabric):
+        """The slow object's reply arrives *after* the fast object's
+        even though it was requested first; the demux must still hand
+        each future its own reply (the old wire path raised
+        RemoteError on any out-of-order reply)."""
+        gate = threading.Event()
+        slow_record, fast_record = [], []
+        with two_orbs(fabric) as (server, client):
+            server.serve(
+                "slow",
+                lambda ctx: make_tagger(idl, slow_record, gate)(),
+                nthreads=1,
+            )
+            server.serve(
+                "fast", lambda ctx: make_tagger(idl, fast_record)(),
+                nthreads=1,
+            )
+            runtime = client.client_runtime(label="ooo", pipeline_depth=4)
+            try:
+                slow = idl.pipe._bind("slow", runtime)
+                fast = idl.pipe._bind("fast", runtime)
+                f_slow = slow.tag_nb(1.0)
+                f_fast = fast.tag_nb(2.0)
+                # The fast object answers while the slow one is still
+                # blocked: its reply is genuinely first on the wire.
+                deadline = time.monotonic() + 20
+                while not fast_record and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert fast_record == [2.0]
+                assert slow_record == []
+                gate.set()
+                assert f_slow.value(timeout=20) == 1.0
+                assert f_fast.value(timeout=20) == 2.0
+            finally:
+                gate.set()
+                runtime.close()
+
+
+class TestInterleavedChunks:
+    @pytest.mark.parametrize("fabric", FABRICS)
+    @pytest.mark.parametrize("transfer", ["multiport", "centralized"])
+    def test_two_in_flight_transfers_stay_separate(
+        self, idl, fabric, transfer
+    ):
+        """Data chunks of two concurrently pipelined requests
+        interleave on the wire but land in the right sequences."""
+        with two_orbs(fabric) as (server, client):
+            server.serve(
+                "pipe",
+                lambda ctx: make_tagger(idl, [])(),
+                nthreads=1,
+                dispatch_policy="concurrent",
+            )
+            runtime = client.client_runtime(label="mix", pipeline_depth=4)
+            try:
+                proxy = idl.pipe._bind("pipe", runtime, transfer=transfer)
+                ramp = np.arange(4096, dtype=np.float64)
+                futures = [
+                    proxy.echo_nb(idl.vec.from_global(ramp + 1000 * i))
+                    for i in range(4)
+                ]
+                for i, future in enumerate(futures):
+                    np.testing.assert_array_equal(
+                        future.value(timeout=30).local_data(),
+                        ramp + 1000 * i,
+                    )
+            finally:
+                runtime.close()
+
+
+class ConcurrencyGauge:
+    """Tracks how many servant executions overlap."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.active = 0
+        self.peak = 0
+
+    def __enter__(self):
+        with self._lock:
+            self.active += 1
+            self.peak = max(self.peak, self.active)
+
+    def __exit__(self, *exc):
+        with self._lock:
+            self.active -= 1
+
+
+class TestDepthAndDispatch:
+    def make_gauged(self, idl, gauge, dwell=0.05):
+        class Gauged(idl.pipe_skel):
+            def echo(self, data):
+                return data
+
+            def tag(self, x):
+                with gauge:
+                    time.sleep(dwell)
+                return x
+
+        return Gauged
+
+    def test_depth_one_keeps_requests_serial(self, idl):
+        gauge = ConcurrencyGauge()
+        with two_orbs("inproc") as (server, client):
+            server.serve(
+                "pipe",
+                lambda ctx: self.make_gauged(idl, gauge)(),
+                nthreads=1,
+                dispatch_policy="concurrent",
+            )
+            runtime = client.client_runtime(label="d1", pipeline_depth=1)
+            try:
+                proxy = idl.pipe._bind("pipe", runtime)
+                futures = [proxy.tag_nb(float(i)) for i in range(5)]
+                assert [f.value(timeout=20) for f in futures] == [
+                    0.0, 1.0, 2.0, 3.0, 4.0,
+                ]
+            finally:
+                runtime.close()
+        # Depth 1 admits one request at a time even though the server
+        # would happily overlap them.
+        assert gauge.peak == 1
+
+    def test_deep_pipeline_overlaps_on_concurrent_policy(self, idl):
+        gauge = ConcurrencyGauge()
+        with two_orbs("inproc") as (server, client):
+            server.serve(
+                "pipe",
+                lambda ctx: self.make_gauged(idl, gauge)(),
+                nthreads=1,
+                dispatch_policy="concurrent",
+            )
+            runtime = client.client_runtime(label="d4", pipeline_depth=4)
+            try:
+                proxy = idl.pipe._bind("pipe", runtime)
+                futures = [proxy.tag_nb(float(i)) for i in range(6)]
+                assert [f.value(timeout=20) for f in futures] == [
+                    0.0, 1.0, 2.0, 3.0, 4.0, 5.0,
+                ]
+            finally:
+                runtime.close()
+        assert gauge.peak >= 2
+
+    def test_client_fifo_policy_preserves_one_clients_order(self, idl):
+        record = []
+        with two_orbs("inproc") as (server, client):
+            server.serve(
+                "pipe",
+                lambda ctx: make_tagger(idl, record)(),
+                nthreads=1,  # default dispatch_policy="client-fifo"
+            )
+            runtime = client.client_runtime(label="fifo", pipeline_depth=8)
+            try:
+                proxy = idl.pipe._bind("pipe", runtime)
+                futures = [proxy.tag_nb(float(i)) for i in range(8)]
+                for future in futures:
+                    future.value(timeout=20)
+            finally:
+                runtime.close()
+        assert record == [float(i) for i in range(8)]
+
+    def test_bad_dispatch_policy_rejected(self, idl):
+        with two_orbs("inproc") as (server, _client):
+            with pytest.raises(ValueError, match="dispatch_policy"):
+                server.serve(
+                    "pipe",
+                    lambda ctx: make_tagger(idl, [])(),
+                    nthreads=1,
+                    dispatch_policy="chaotic",
+                )
+
+    def test_bad_pipeline_depth_rejected(self, idl):
+        with two_orbs("inproc") as (_server, client):
+            with pytest.raises(ValueError, match="depth"):
+                client.client_runtime(label="bad", pipeline_depth=0)

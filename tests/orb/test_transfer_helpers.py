@@ -185,3 +185,132 @@ class TestAssembleChunks:
             assemble_chunks(
                 [chunk], layout, 0, np.dtype(np.float64), np.zeros(4)
             )
+
+
+class TestChunkCollectorLifecycle:
+    """Eviction and retirement: abandoned requests must not leak."""
+
+    def make_chunk(self, rid, param, lo, hi, phase=PHASE_REQUEST):
+        data = np.arange(lo, hi, dtype=np.float64)
+        return DataChunk(rid, param, phase, 0, 0, lo, hi, data.tobytes())
+
+    def test_timeout_evicts_partial_entry(self):
+        from repro.orb.transport import TransportError
+
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        collector = ChunkCollector(port)
+        # One of two expected chunks arrives; the collect times out.
+        sender.send(
+            port.address, self.make_chunk(1, "x", 0, 4).encode(), KIND_DATA
+        )
+        with pytest.raises(TransportError):
+            collector.collect(1, "x", PHASE_REQUEST, 2, timeout=0.1)
+        assert collector.pending_entries() == 0
+
+    def test_discard_evicts_and_drops_late_chunks(self):
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        collector = ChunkCollector(port)
+        sender.send(
+            port.address, self.make_chunk(7, "x", 0, 4).encode(), KIND_DATA
+        )
+        # Pull the chunk into the pending table via an unrelated wait.
+        from repro.orb.transport import TransportError
+
+        with pytest.raises(TransportError):
+            collector.collect(8, "y", PHASE_REQUEST, 1, timeout=0.1)
+        assert collector.pending_entries() == 1
+        collector.discard(7)
+        assert collector.pending_entries() == 0
+        # A late chunk for the retired request is dropped on arrival,
+        # not held forever.
+        sender.send(
+            port.address, self.make_chunk(7, "x", 4, 8).encode(), KIND_DATA
+        )
+        with pytest.raises(TransportError):
+            collector.collect(9, "z", PHASE_REQUEST, 1, timeout=0.1)
+        assert collector.pending_entries() == 0
+
+    def test_concurrent_collects_for_different_requests(self):
+        import threading as _threading
+
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        collector = ChunkCollector(port)
+        results = {}
+
+        def collect(rid):
+            results[rid] = collector.collect(
+                rid, "x", PHASE_REQUEST, 2, timeout=10
+            )
+
+        threads = [
+            _threading.Thread(target=collect, args=(rid,))
+            for rid in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        # Interleave the two requests' chunks adversarially.
+        for rid, lo, hi in [(2, 4, 8), (1, 0, 4), (2, 0, 4), (1, 4, 8)]:
+            sender.send(
+                port.address,
+                self.make_chunk(rid, "x", lo, hi).encode(),
+                KIND_DATA,
+            )
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        for rid in (1, 2):
+            assert len(results[rid]) == 2
+            assert all(c.request_id == rid for c in results[rid])
+        assert collector.pending_entries() == 0
+
+
+class TestReplyDemux:
+    def make_reply(self, rid):
+        from repro.orb.request import ReplyMessage
+
+        return ReplyMessage(rid).encode()
+
+    def test_out_of_order_replies_reach_their_waiters(self):
+        from repro.orb.transfer import ReplyDemux
+        from repro.orb.transport import KIND_REPLY
+
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        demux = ReplyDemux(port)
+        for rid in (3, 1, 2):  # reverse-ish of the wait order
+            sender.send(port.address, self.make_reply(rid), KIND_REPLY)
+        for rid in (1, 2, 3):
+            assert demux.wait(rid, timeout=5).request_id == rid
+        assert demux.outstanding() == 0
+
+    def test_poll_returns_filed_reply_once(self):
+        from repro.orb.transfer import ReplyDemux
+        from repro.orb.transport import KIND_REPLY
+
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        demux = ReplyDemux(port)
+        sender.send(port.address, self.make_reply(9), KIND_REPLY)
+        sender.send(port.address, self.make_reply(5), KIND_REPLY)
+        assert demux.wait(5, timeout=5).request_id == 5
+        assert demux.poll(9).request_id == 9
+        assert demux.poll(9) is None
+
+    def test_discarded_request_reply_is_dropped(self):
+        from repro.orb.transfer import ReplyDemux
+        from repro.orb.transport import KIND_REPLY, TransportError
+
+        fabric = Fabric()
+        port, sender = fabric.open_port(), fabric.open_port()
+        demux = ReplyDemux(port)
+        demux.discard(4)
+        sender.send(port.address, self.make_reply(4), KIND_REPLY)
+        sender.send(port.address, self.make_reply(6), KIND_REPLY)
+        assert demux.wait(6, timeout=5).request_id == 6
+        # The retired reply was dropped on arrival, not filed.
+        assert demux.outstanding() == 0
+        with pytest.raises(TransportError):
+            demux.wait(4, timeout=0.1)

@@ -107,7 +107,7 @@ class TestReplyMessage:
     def test_bad_status_rejected(self):
         msg = ReplyMessage(2, STATUS_OK)
         data = bytearray(msg.encode())
-        data[8] = 99  # status field
+        data[16] = 99  # status field (after preamble + 64-bit rid)
         with pytest.raises(MarshalError):
             decode_reply(bytes(data))
 
@@ -139,10 +139,10 @@ class TestDataChunk:
 
     def test_bad_phase_rejected(self):
         good = DataChunk(1, "x", PHASE_REQUEST, 0, 0, 0, 0).encode()
-        # Corrupt the phase ulong (after rid ulong + string "x").
+        # Corrupt the phase ulong (after rid ulonglong + string "x").
         bad = bytearray(good)
-        # Find phase by decoding offsets: rid at 4..8, string len at
-        # 8..12, chars 12..14 (+pad), phase aligned at 16.
-        bad[16] = 7
+        # Find phase by decoding offsets: rid at 8..16, string len at
+        # 16..20, chars 20..22 (+pad), phase aligned at 24.
+        bad[24] = 7
         with pytest.raises(MarshalError, match="phase"):
             decode_chunk(bytes(bad))

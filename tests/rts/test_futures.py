@@ -78,3 +78,43 @@ class TestFuture:
         assert "pending" in repr(f)
         f.set_result(None)
         assert "ready" in repr(f)
+
+
+class TestDemandHook:
+    """The `_pre_wait` hook lets a lazy producer (the pipelined
+    invocation worker) learn that a reader is about to block."""
+
+    def test_wait_announces_demand(self):
+        future = Future(label="lazy")
+        calls = []
+        future._pre_wait = lambda f: (calls.append(f), future.set_result(1))
+        assert future.value(timeout=1) == 1
+        assert calls == [future]
+
+    def test_ready_announces_demand(self):
+        future = Future(label="lazy")
+        calls = []
+        future._pre_wait = calls.append
+        assert not future.ready()
+        assert calls == [future]
+
+    def test_no_demand_once_resolved(self):
+        future = Future(label="eager")
+        calls = []
+        future._pre_wait = calls.append
+        future.set_result(42)
+        assert future.value(timeout=1) == 42
+        assert calls == []
+
+    def test_then_propagates_demand_to_parent(self):
+        parent = Future(label="parent")
+        calls = []
+        parent._pre_wait = lambda f: (
+            calls.append(f),
+            parent.set_result(10),
+        )
+        chained = parent.then(lambda v: v + 1)
+        # Touching only the chained future must flush the parent's
+        # producer, or the chain would deadlock under pipelining.
+        assert chained.value(timeout=1) == 11
+        assert calls == [parent]

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Run the pipelined-invocation benchmark and emit BENCH_pipeline.json.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_pipeline.py                 # full sweep
+    PYTHONPATH=src python tools/bench_pipeline.py --smoke         # CI subset
+    PYTHONPATH=src python tools/bench_pipeline.py --smoke \\
+        --gate 1.0                                  # depth-8 > depth-1 gate
+
+The JSON carries a ``results`` list (one record per fabric × transfer
+method × pipeline depth) plus ``speedups`` — the deepest-depth
+throughput over the depth-1 (strictly serial) baseline for every
+fabric × method pair.  ``--gate R`` fails (exit 1) when any pair's
+speedup drops to R or below; absolute MB/s numbers are
+machine-dependent and are never gated on.
+
+See ``docs/performance.md`` for the methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.pipeline import (  # noqa: E402
+    DEFAULT_DEPTHS,
+    DEFAULT_REPEATS,
+    DEFAULT_REQUESTS,
+    DEFAULT_SERVICE_MS,
+    DEFAULT_SIZE,
+    SMOKE_DEPTHS,
+    SMOKE_REQUESTS,
+    SMOKE_SERVICE_MS,
+    SMOKE_SIZE,
+    format_pipeline,
+    points_as_dicts,
+    run_pipeline,
+    speedups,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fabric",
+        choices=["inproc", "socket", "both"],
+        default="both",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small payload, depths 1 and 8 only (CI-friendly)",
+    )
+    parser.add_argument("--size", type=int, default=None, help="bytes")
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument(
+        "--service-ms",
+        type=float,
+        default=None,
+        help="per-request servant compute time the pipeline overlaps "
+        "with transfer (default 20, smoke 20)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help="timed bursts per point; the best is reported",
+    )
+    parser.add_argument(
+        "--depths",
+        type=lambda s: [int(d) for d in s.split(",")],
+        default=None,
+        help="comma-separated pipeline depths",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail when any fabric x method speedup (deepest depth vs "
+        "depth 1) is <= this ratio",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write results JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    fabrics = (
+        ["inproc", "socket"] if args.fabric == "both" else [args.fabric]
+    )
+    depths = args.depths or (SMOKE_DEPTHS if args.smoke else DEFAULT_DEPTHS)
+    size = args.size or (SMOKE_SIZE if args.smoke else DEFAULT_SIZE)
+    requests = args.requests or (
+        SMOKE_REQUESTS if args.smoke else DEFAULT_REQUESTS
+    )
+    service_ms = (
+        args.service_ms
+        if args.service_ms is not None
+        else (SMOKE_SERVICE_MS if args.smoke else DEFAULT_SERVICE_MS)
+    )
+
+    points = []
+    for fabric in fabrics:
+        points.extend(
+            run_pipeline(
+                fabric,
+                depths,
+                size_bytes=size,
+                requests=requests,
+                service_ms=service_ms,
+                repeats=args.repeats,
+            )
+        )
+    print(format_pipeline(points))
+
+    ratios = speedups(points)
+    failures = 0
+    if args.gate is not None:
+        print(f"\npipeline gate: speedup must exceed {args.gate:.2f}x")
+        for (fabric, method), ratio in sorted(ratios.items()):
+            verdict = "ok" if ratio > args.gate else "FAIL"
+            if verdict == "FAIL":
+                failures += 1
+            print(
+                f"  {fabric:<8} {method:<12} {ratio:>6.2f}x  {verdict}"
+            )
+
+    if args.out is not None:
+        payload = {
+            "benchmark": "pipeline",
+            "units": {
+                "mb_per_s": "payload MB per second, both directions",
+                "speedups": (
+                    "deepest-depth MB/s over depth-1 MB/s, per "
+                    "fabric x transfer method"
+                ),
+            },
+            "parameters": {
+                "size_bytes": size,
+                "requests": requests,
+                "depths": depths,
+                "service_ms": service_ms,
+                "repeats": args.repeats,
+            },
+            "speedups": {
+                f"{fabric}/{method}": ratio
+                for (fabric, method), ratio in sorted(ratios.items())
+            },
+            "results": points_as_dicts(points),
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if failures:
+        print(f"{failures} fabric x method pair(s) failed the gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
