@@ -28,6 +28,10 @@ importing :mod:`repro` stays cheap.  The subpackages are:
 ``repro.simnet``
     A discrete-event simulator of the paper's testbed used by the
     benchmark harness to regenerate Tables 1-2 and Figure 4.
+``repro.ft``
+    Fault tolerance: invocation policies (deadlines, retry/backoff),
+    collective failure agreement, server-side request dedup, and the
+    fault-injection fabric (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -56,6 +60,14 @@ _EXPORTS = {
     "TransferMethod": ("repro.core", "TransferMethod"),
     "compile_idl": ("repro.idl", "compile_idl"),
     "compile_idl_module": ("repro.idl", "compile_idl_module"),
+    "FtPolicy": ("repro.ft", "FtPolicy"),
+    "FaultSchedule": ("repro.ft", "FaultSchedule"),
+    "FaultyFabric": ("repro.ft", "FaultyFabric"),
+    "DeadlineExceeded": ("repro.ft", "DeadlineExceeded"),
+    "InvocationRetriesExhausted": (
+        "repro.ft",
+        "InvocationRetriesExhausted",
+    ),
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -21,7 +21,13 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["CopyAccount", "copied", "copy_audit"]
+__all__ = [
+    "CopyAccount",
+    "copied",
+    "copy_audit",
+    "register_account",
+    "unregister_account",
+]
 
 
 class CopyAccount:
@@ -71,6 +77,22 @@ def copied(nbytes: int) -> None:
             account.add(nbytes)
 
 
+def register_account(account: CopyAccount) -> None:
+    """Activate an account for open-ended accounting (until
+    :func:`unregister_account`) — e.g. the lifetime tally behind
+    ``ORB.stats()``.  Prefer :func:`copy_audit` for scoped audits."""
+    global _accounts
+    with _registry_lock:
+        _accounts = _accounts + (account,)
+
+
+def unregister_account(account: CopyAccount) -> None:
+    """Deactivate a registered account (idempotent)."""
+    global _accounts
+    with _registry_lock:
+        _accounts = tuple(a for a in _accounts if a is not account)
+
+
 @contextmanager
 def copy_audit() -> Iterator[CopyAccount]:
     """Measure wire-path copies for the duration of the ``with`` body.
@@ -80,12 +102,9 @@ def copy_audit() -> Iterator[CopyAccount]:
     (the wire path spans threads — reader loops, servant ranks — so
     per-thread attribution would undercount).
     """
-    global _accounts
     account = CopyAccount()
-    with _registry_lock:
-        _accounts = _accounts + (account,)
+    register_account(account)
     try:
         yield account
     finally:
-        with _registry_lock:
-            _accounts = tuple(a for a in _accounts if a is not account)
+        unregister_account(account)

@@ -13,7 +13,13 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.cdr.accounting import (
+    CopyAccount,
+    register_account,
+    unregister_account,
+)
 from repro.core.spmd import SpmdServerGroup
+from repro.dist.schedule import schedule_cache_stats
 from repro.orb.adapter import ObjectAdapter, Servant, ServantContext
 from repro.orb.naming import NamingService
 from repro.orb.proxy import ClientRuntime
@@ -48,20 +54,28 @@ class ORB:
         timeout: float = 60.0,
         fabric: Any = None,
         naming: Any = None,
+        ft_policy: Any = None,
     ) -> None:
         """``fabric``/``naming`` default to the in-process transport
         and registry; pass a :class:`~repro.orb.socketnet.SocketFabric`
         and :class:`~repro.orb.socketnet.RemoteNamingClient` to join a
-        multi-process deployment over TCP."""
+        multi-process deployment over TCP.  ``ft_policy`` is the
+        ORB-wide default :class:`~repro.ft.policy.FtPolicy` applied by
+        every client runtime this ORB mints (per-runtime and per-proxy
+        policies override it)."""
         self.name = name
         self.fabric = fabric if fabric is not None else Fabric(name)
         self.naming = naming if naming is not None else NamingService()
         self.tracer = tracer
         self.timeout = timeout
+        self.ft_policy = ft_policy
         self._adapter = ObjectAdapter(self.fabric, self.naming)
         self._runtimes: list[ClientRuntime] = []
         self._lock = threading.Lock()
         self._shut = False
+        #: Lifetime wire-path copy tally behind :meth:`stats`.
+        self._copy_account = CopyAccount()
+        register_account(self._copy_account)
 
     # -- server side ---------------------------------------------------------
 
@@ -77,6 +91,8 @@ class ORB:
         rts_style: str = "message-passing",
         dispatch_workers: int = 4,
         dispatch_policy: str = "client-fifo",
+        reply_cache_bytes: int = 0,
+        request_timeout: float | None = None,
     ) -> SpmdServerGroup:
         """Activate an SPMD object and register it with naming.
 
@@ -96,7 +112,14 @@ class ORB:
         a CORBA ORB-controlled-threads POA — so even a single
         pipelined client's requests overlap (for stateless or
         internally synchronized servants).  Collective objects ignore
-        both.
+        both.  ``reply_cache_bytes`` enables server-side request dedup
+        for client retries: a positive byte budget records sent
+        replies so a retried request whose reply was lost is answered
+        from the cache instead of re-executed (see
+        :mod:`repro.ft.dedup`).  ``request_timeout`` bounds a
+        dispatched request's server-side waits (chunk collection from
+        a client whose data path died); ``None`` inherits the ORB
+        timeout, so a short-deadline ORB also fails fast server-side.
         """
         group = SpmdServerGroup(
             self.fabric,
@@ -111,6 +134,10 @@ class ORB:
             rts_style=rts_style,
             dispatch_workers=dispatch_workers,
             dispatch_policy=dispatch_policy,
+            reply_cache_bytes=reply_cache_bytes,
+            request_timeout=(
+                self.timeout if request_timeout is None else request_timeout
+            ),
         )
         group.start()
         self._adapter._groups.append(group)
@@ -125,6 +152,7 @@ class ORB:
         label: str = "client",
         rts_style: str = "message-passing",
         pipeline_depth: int = 8,
+        ft_policy: Any = None,
     ) -> ClientRuntime:
         """Create the per-thread client runtime (collective when
         ``comm`` is a group communicator; serial when ``None``).
@@ -134,6 +162,8 @@ class ORB:
         or its planned ``"one-sided"`` alternative.  ``pipeline_depth``
         caps how many non-blocking invocations this runtime keeps in
         flight at once (1 restores strictly serial round-trips).
+        ``ft_policy`` overrides the ORB-wide fault-tolerance policy
+        for this runtime (``None`` inherits it).
         """
         runtime = ClientRuntime(
             self.fabric,
@@ -144,6 +174,7 @@ class ORB:
             label=label,
             rts_style=rts_style,
             pipeline_depth=pipeline_depth,
+            ft_policy=ft_policy if ft_policy is not None else self.ft_policy,
         )
         with self._lock:
             self._runtimes.append(runtime)
@@ -185,6 +216,49 @@ class ORB:
             body, timeout=timeout
         )
 
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """One observability snapshot of the ORB's moving parts.
+
+        Keys: ``fabric`` (transport counters — socket fabrics report
+        ``dropped_frames``; a fault-injecting fabric adds its
+        ``faults`` tally), ``transfer_schedule_cache`` (LRU hit/miss
+        for §3.3 chunk schedules), ``cdr_copies`` (lifetime wire-path
+        copy accounting), ``ft`` (client fault-tolerance counters
+        summed over this ORB's runtimes), and ``reply_caches``
+        (server-side dedup counters per activated group).
+        """
+        fabric: dict[str, Any] = {}
+        dropped = getattr(self.fabric, "dropped_frames", None)
+        if dropped is not None:
+            fabric["dropped_frames"] = dropped
+        fault_stats = getattr(self.fabric, "fault_stats", None)
+        if callable(fault_stats):
+            fabric["faults"] = fault_stats()
+        ft: dict[str, int] = {}
+        with self._lock:
+            runtimes = list(self._runtimes)
+        for runtime in runtimes:
+            ft_stats = getattr(runtime, "ft_stats", None)
+            if ft_stats is None:
+                continue
+            for key, value in ft_stats.snapshot().items():
+                ft[key] = ft.get(key, 0) + value
+        reply_caches = {
+            group.name: group.reply_cache.stats()
+            for group in self._adapter._groups
+            if getattr(group, "reply_cache", None) is not None
+        }
+        copied_bytes, copy_events = self._copy_account.snapshot()
+        return {
+            "fabric": fabric,
+            "transfer_schedule_cache": schedule_cache_stats(),
+            "cdr_copies": {"bytes": copied_bytes, "events": copy_events},
+            "ft": ft,
+            "reply_caches": reply_caches,
+        }
+
     # -- lifecycle ----------------------------------------------------------
 
     def shutdown(self) -> None:
@@ -192,6 +266,7 @@ class ORB:
         if self._shut:
             return
         self._shut = True
+        unregister_account(self._copy_account)
         self._adapter.shutdown()
         with self._lock:
             runtimes, self._runtimes = self._runtimes, []

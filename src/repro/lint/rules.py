@@ -156,6 +156,21 @@ _RULES = (
         "§3: only the centralized and multiport methods exist; "
         "any other spelling raises at bind time.",
     ),
+    Rule(
+        "PD208",
+        "unagreed-guarded-invocation",
+        "error",
+        "invocation on a collectively-bound proxy inside a "
+        "rank-guarded branch without failure agreement",
+        "§2 + fault tolerance: an invocation on a proxy bound with "
+        "_spmd_bind is collective — every computing thread must "
+        "issue it at the same point in the collective sequence.  "
+        "Under a rank guard only some threads reach it, and without "
+        "an agreement call (repro.ft.agreement.agree / "
+        "agree_failure) the group has no way to converge on one "
+        "outcome: the guarded ranks time out while the others "
+        "proceed, and the collective sequences diverge.",
+    ),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULES}

@@ -1,4 +1,4 @@
-"""Family B: SPMD collective-correctness lints (rules PD200–PD205).
+"""Family B: SPMD collective-correctness lints (rules PD200–PD208).
 
 These analyse client/server *programs* with python's :mod:`ast`
 module.  The paper's SPMD object model makes certain shapes of code
@@ -46,6 +46,13 @@ RANK_ITER_TOKENS = frozenset(
 #: Blocking consumption methods of a future (``wait`` is excluded:
 #: ``threading.Event.wait`` would alias it).
 TOUCH_METHODS = frozenset(("touch", "value", "result"))
+
+#: The collective failure-agreement entry points
+#: (:mod:`repro.ft.agreement`).  Their presence inside a rank-guarded
+#: region marks the divergence as deliberate and reconciled.
+AGREEMENT_CALLS = frozenset(
+    ("agree", "agree_failure", "agree_outcome")
+)
 
 
 def _diag(
@@ -136,6 +143,112 @@ class _RankGuardVisitor(ast.NodeVisitor):
                     f"thread deadlocks",
                     "hoist the collective out of the rank guard "
                     "so all computing threads issue it",
+                )
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# PD208: guarded proxy invocations without failure agreement
+# ---------------------------------------------------------------------------
+
+
+def _spmd_proxy_names(tree: ast.Module) -> set[str]:
+    """Variable names assigned from a ``_spmd_bind(...)`` call."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and _call_name(node.value) == "_spmd_bind"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _has_agreement(scope: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and _call_name(node) in AGREEMENT_CALLS
+        for node in ast.walk(scope)
+    )
+
+
+class _UnagreedInvocationVisitor(ast.NodeVisitor):
+    """Find proxy invocations under a rank guard with no agreement.
+
+    PD201 catches the bind-level collective entry points; this rule
+    covers *invocations* on a proxy that was collectively bound.
+    Every method call on such a proxy is a collective request, so a
+    rank-guarded call diverges the group — unless the enclosing
+    function reconciles via the :mod:`repro.ft.agreement` API, in
+    which case the divergence is deliberate (the sanctioned idiom:
+    rank 0 probes a possibly-dead object inside the guard, then every
+    rank votes with ``agree``/``agree_failure`` after it).
+    """
+
+    def __init__(self, path: str, proxies: set[str]):
+        self.path = path
+        self.proxies = proxies
+        self.out: list[Diagnostic] = []
+        self._guards: list[int] = []  # lines of active rank guards
+        #: Does the current function (or module) scope contain an
+        #: agreement call anywhere?
+        self._agreed: list[bool] = []
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._agreed.append(_has_agreement(node))
+        self.generic_visit(node)
+        self._agreed.pop()
+
+    def _visit_guarded(self, node: ast.If | ast.While) -> None:
+        guarded = _mentions(node.test, RANK_TOKENS)
+        if guarded:
+            self._guards.append(node.test.lineno)
+        for child in node.body + node.orelse:
+            self.visit(child)
+        if guarded:
+            self._guards.pop()
+
+    visit_If = _visit_guarded
+    visit_While = _visit_guarded
+
+    def _visit_function(self, node: ast.AST) -> None:
+        saved, self._guards = self._guards, []
+        self._agreed.append(_has_agreement(node))
+        self.generic_visit(node)
+        self._agreed.pop()
+        self._guards = saved
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.proxies
+            and self._guards
+            and not (self._agreed and self._agreed[-1])
+        ):
+            self.out.append(
+                _diag(
+                    "PD208",
+                    self.path,
+                    node.lineno,
+                    f"invocation '{func.value.id}.{func.attr}' on "
+                    f"a collectively-bound proxy is guarded by a "
+                    f"rank test (line {self._guards[-1]}) with "
+                    f"no failure agreement: the guarded ranks and "
+                    f"the rest diverge in the collective sequence",
+                    "issue the invocation from every thread, or "
+                    "reconcile the branch with "
+                    "repro.ft.agreement.agree/agree_failure so "
+                    "all ranks converge on one outcome",
                 )
             )
         self.generic_visit(node)
@@ -379,6 +492,11 @@ def lint_python_source(
     guard = _RankGuardVisitor(path)
     guard.visit(tree)
     diagnostics += guard.out
+    proxies = _spmd_proxy_names(tree)
+    if proxies:
+        unagreed = _UnagreedInvocationVisitor(path, proxies)
+        unagreed.visit(tree)
+        diagnostics += unagreed.out
     diagnostics += _check_futures(tree, path)
     diagnostics += _check_touch_loops(tree, path)
     diagnostics += _check_transfer(tree, path)

@@ -22,53 +22,57 @@ server" (paper §1).  Layers, bottom-up:
   and method invocation, blocking and future-returning.
 """
 
-from repro.orb.operation import (
-    Direction,
-    OperationSpec,
-    ParamSpec,
-    RemoteError,
-    UserException,
-)
-from repro.orb.reference import ObjectReference
-from repro.orb.naming import NamingService, NamingError
-from repro.orb.transport import Channel, Endpoint, Port, TransportError
-from repro.orb.request import (
-    ReplyMessage,
-    RequestMessage,
-    decode_reply,
-    decode_request,
-)
-from repro.orb.transfer import (
-    CentralizedTransfer,
-    MultiPortTransfer,
-    TransferEngine,
-)
-from repro.orb.adapter import ObjectAdapter, Servant, ServantGroup
-from repro.orb.proxy import ClientProxy, BindMode
+from __future__ import annotations
 
-__all__ = [
-    "BindMode",
-    "CentralizedTransfer",
-    "Channel",
-    "ClientProxy",
-    "Direction",
-    "Endpoint",
-    "MultiPortTransfer",
-    "NamingError",
-    "NamingService",
-    "ObjectAdapter",
-    "ObjectReference",
-    "OperationSpec",
-    "ParamSpec",
-    "Port",
-    "RemoteError",
-    "ReplyMessage",
-    "RequestMessage",
-    "Servant",
-    "ServantGroup",
-    "TransferEngine",
-    "TransportError",
-    "UserException",
-    "decode_reply",
-    "decode_request",
-]
+import importlib
+from typing import Any
+
+#: Public name → defining submodule, resolved lazily.  Lazy loading
+#: keeps this package importable from the leaves of an import cycle:
+#: :mod:`repro.ft.policy` needs :mod:`repro.orb.operation` while
+#: :mod:`repro.orb.transfer` needs :mod:`repro.ft` — eager package
+#: imports here would close that loop.
+_EXPORTS = {
+    "BindMode": "repro.orb.proxy",
+    "CentralizedTransfer": "repro.orb.transfer",
+    "Channel": "repro.orb.transport",
+    "ClientProxy": "repro.orb.proxy",
+    "Direction": "repro.orb.operation",
+    "Endpoint": "repro.orb.transport",
+    "MultiPortTransfer": "repro.orb.transfer",
+    "NamingError": "repro.orb.naming",
+    "NamingService": "repro.orb.naming",
+    "ObjectAdapter": "repro.orb.adapter",
+    "ObjectReference": "repro.orb.reference",
+    "OperationSpec": "repro.orb.operation",
+    "ParamSpec": "repro.orb.operation",
+    "Port": "repro.orb.transport",
+    "RemoteError": "repro.orb.operation",
+    "ReplyMessage": "repro.orb.request",
+    "RequestMessage": "repro.orb.request",
+    "Servant": "repro.orb.adapter",
+    "ServantGroup": "repro.orb.adapter",
+    "TransferEngine": "repro.orb.transfer",
+    "TransportError": "repro.orb.transport",
+    "UserException": "repro.orb.operation",
+    "decode_reply": "repro.orb.request",
+    "decode_request": "repro.orb.request",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.orb' has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__

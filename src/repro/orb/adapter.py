@@ -59,11 +59,14 @@ from repro.orb.transfer import (
     server_layout,
     staging_array,
 )
+from repro.ft.dedup import ReplyCache
 from repro.orb.transport import (
     Fabric,
     KIND_CONTROL,
+    KIND_DATA,
     KIND_REPLY,
     Port,
+    TransportError,
 )
 from repro.rts.executor import SpmdExecutor, SpmdHandle
 from repro.rts.interface import MessagePassingRTS
@@ -226,13 +229,28 @@ def _call_servant(
 def _agree_outcome(
     ctx: ServantContext, outcome: tuple[str, Any]
 ) -> tuple[str, Any]:
-    """All ranks must deliver the same outcome class; disagreement is
-    itself a system exception (a broken SPMD servant)."""
+    """All ranks must deliver the same outcome class; on disagreement
+    every rank adopts one canonical failure.
+
+    Disagreement has two faces: a genuinely broken SPMD servant (some
+    ranks return, others raise — an INTERNAL error), and a rank-local
+    delivery failure (one rank's request chunks never arrived, the
+    others assembled fine).  The vote carries system-failure payloads
+    so the second case surfaces as the real failure — lowest-rank
+    system outcome wins — keeping its category (COMM_FAILURE is
+    retryable under a client fault-tolerance policy; INTERNAL is not).
+    """
     if ctx.comm is None:
         return outcome
-    kinds = ctx.comm.allgather(outcome[0])
+    votes = ctx.comm.allgather(
+        (outcome[0], outcome[1] if outcome[0] == "system" else None)
+    )
+    kinds = [kind for kind, _ in votes]
     if all(k == kinds[0] for k in kinds):
         return outcome
+    for kind, payload in votes:
+        if kind == "system":
+            return ("system", payload)
     return (
         "system",
         (
@@ -265,9 +283,17 @@ class _ServerEngine:
     """Executes one request on one rank (all ranks run this in
     lockstep)."""
 
-    def __init__(self, ctx: ServantContext, servant: Servant) -> None:
+    def __init__(
+        self,
+        ctx: ServantContext,
+        servant: Servant,
+        cache: ReplyCache | None = None,
+    ) -> None:
         self.ctx = ctx
         self.servant = servant
+        #: The group's reply cache (request dedup); ``None`` when the
+        #: object was activated without ``reply_cache_bytes``.
+        self.cache = cache
         #: Set on rank 0 of collective groups: replies leave through a
         #: dedicated sender thread instead of the dispatch loop.
         self.reply_sender: _ReplySender | None = None
@@ -293,9 +319,13 @@ class _ServerEngine:
         return f"{name}#{self._staging_seq % _STAGING_ROTATION}"
 
     def _reply(self, request: RequestMessage, reply: ReplyMessage) -> None:
-        if self.ctx.rank != 0 or request.oneway:
+        if self.ctx.rank != 0:
             return
-        if request.reply_port is None:
+        if request.oneway or request.reply_port is None:
+            if self.cache is not None:
+                # No reply to replay, but the executed id must still
+                # swallow duplicate deliveries forever.
+                self.cache.record_reply(request.request_id, None)
             return
         port = self.ctx.request_port or self.ctx.data_port
         if self.ctx.tracer:
@@ -310,6 +340,18 @@ class _ServerEngine:
             port.send(
                 request.reply_port, reply.encode_segments(), KIND_REPLY
             )
+        if self.cache is not None:
+            if reply.status == wire.STATUS_SYSTEM_EXCEPTION:
+                # The request did not run to completion; the correct
+                # answer to a retry is to re-execute it.
+                self.cache.forget(request.request_id)
+            else:
+                self.cache.record_reply(
+                    request.request_id,
+                    b"".join(
+                        bytes(s) for s in reply.encode_segments()
+                    ),
+                )
 
     def _server_layout_for(
         self, operation: str, param: str, length: int
@@ -343,15 +385,23 @@ class _ServerEngine:
             else:
                 self._execute_centralized(request, spec)
         except (UserException, RemoteError, Exception) as exc:  # noqa: B014
-            # Engine-level failure (marshaling, schedule mismatch):
-            # report if this rank owns the reply channel.
+            # Engine-level failure: report if this rank owns the reply
+            # channel.  Transport trouble (e.g. request chunks that
+            # never arrived) is COMM_FAILURE — retryable under a
+            # client fault-tolerance policy — while marshaling and
+            # schedule mismatches stay MARSHAL (retrying cannot help).
+            category = (
+                "COMM_FAILURE"
+                if isinstance(exc, TransportError)
+                else "MARSHAL"
+            )
             self._reply(
                 request,
                 ReplyMessage(
                     request.request_id,
                     wire.STATUS_SYSTEM_EXCEPTION,
                     encode_system_exception(
-                        "MARSHAL", f"{type(exc).__name__}: {exc}"
+                        category, f"{type(exc).__name__}: {exc}"
                     ),
                 ),
             )
@@ -507,47 +557,85 @@ class _ServerEngine:
 
         client_layouts: dict[str, Layout] = {}
         args: list[Any] = []
-        for slot in slots:
-            if not slot.distributed:
-                args.append(plain[slot.name])
-                continue
-            tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
-            lengths = request.layout_of(slot.name)
-            if lengths is None:
-                raise RemoteError(
-                    f"request is missing the layout of '{slot.name}'",
-                    category="MARSHAL",
+        failure: tuple[str, Any] | None = None
+        # Argument assembly is all rank-local (each rank collects on
+        # its own data port), so a failure here — request chunks that
+        # never arrived, a bad layout — must not raise past the
+        # outcome vote below: the other ranks would enter the servant
+        # collectives while this one unwinds, wedging the group.  It
+        # becomes this rank's vote instead.
+        try:
+            for slot in slots:
+                if not slot.distributed:
+                    args.append(plain[slot.name])
+                    continue
+                tc: DSequenceTC = slot.typecode  # type: ignore[assignment]
+                lengths = request.layout_of(slot.name)
+                if lengths is None:
+                    raise RemoteError(
+                        f"request is missing the layout of '{slot.name}'",
+                        category="MARSHAL",
+                    )
+                client_layout = Layout.from_local_lengths(lengths)
+                client_layouts[slot.name] = client_layout
+                layout = self._server_layout_for(
+                    spec.name, slot.name, client_layout.length
                 )
-            client_layout = Layout.from_local_lengths(lengths)
-            client_layouts[slot.name] = client_layout
-            layout = self._server_layout_for(
-                spec.name, slot.name, client_layout.length
-            )
-            steps = transfer_schedule(client_layout, layout)
-            expected = sum(1 for s in steps if s.dst_rank == ctx.rank)
-            local = np.zeros(
-                layout.local_length(ctx.rank), dtype=tc.element_dtype
-            )
-            chunks = ctx.collector.collect(
-                request.request_id,
-                slot.name,
-                wire.PHASE_REQUEST,
-                expected,
-                timeout=ctx.timeout,
-            )
-            assemble_chunks(
-                chunks, layout, ctx.rank, tc.element_dtype, local
-            )
-            args.append(
-                DistributedSequence(
-                    client_layout.length,
-                    dtype=tc.element_dtype,
-                    comm=ctx.comm,
-                    bound=tc.bound,
-                    _layout=layout,
-                    _local=local,
+                steps = transfer_schedule(client_layout, layout)
+                expected = sum(
+                    1 for s in steps if s.dst_rank == ctx.rank
                 )
+                local = np.zeros(
+                    layout.local_length(ctx.rank), dtype=tc.element_dtype
+                )
+                chunks = ctx.collector.collect(
+                    request.request_id,
+                    slot.name,
+                    wire.PHASE_REQUEST,
+                    expected,
+                    timeout=ctx.timeout,
+                )
+                assemble_chunks(
+                    chunks, layout, ctx.rank, tc.element_dtype, local
+                )
+                args.append(
+                    DistributedSequence(
+                        client_layout.length,
+                        dtype=tc.element_dtype,
+                        comm=ctx.comm,
+                        bound=tc.bound,
+                        _layout=layout,
+                        _local=local,
+                    )
+                )
+        except TransportError as exc:
+            failure = (
+                "system",
+                ("COMM_FAILURE", f"{type(exc).__name__}: {exc}"),
             )
+        except RemoteError as exc:
+            failure = ("system", (exc.category, str(exc)))
+        except Exception as exc:  # noqa: BLE001 - voted, sent to client
+            failure = (
+                "system", ("MARSHAL", f"{type(exc).__name__}: {exc}")
+            )
+
+        # Stage 1: agree that every rank assembled its arguments
+        # before anyone enters the servant (whose body may contain
+        # collectives that would wedge against a rank that is
+        # unwinding).  Stage 2 below agrees on the servant's outcome.
+        if ctx.comm is not None:
+            delivery = _agree_outcome(
+                ctx, failure if failure is not None else ("ok", None)
+            )
+            if delivery[0] != "ok":
+                if ctx.rts is not None:
+                    ctx.rts.synchronize()
+                self._reply(request, _error_reply(request, delivery))
+                return
+        elif failure is not None:
+            self._reply(request, _error_reply(request, failure))
+            return
 
         outcome = _agree_outcome(
             ctx, _call_servant(self.servant, spec, args)
@@ -626,7 +714,15 @@ class _ServerEngine:
                 ),
             )
         # Data flows straight from each computing thread to the
-        # client threads owning the overlap.
+        # client threads owning the overlap.  With a reply cache, each
+        # outgoing frame is recorded so a retried request can be
+        # answered by replaying it.
+        record = None
+        if self.cache is not None:
+            record = (
+                lambda dst_rank, frame, _id=request.request_id:
+                self.cache.record_chunks(_id, dst_rank, frame)
+            )
         for slot, value, client_layout in returns:
             steps = transfer_schedule(value.layout, client_layout)
             send_chunks(
@@ -639,7 +735,13 @@ class _ServerEngine:
                 slot.name,
                 wire.PHASE_REPLY,
                 ctx.tracer,
+                record=record,
             )
+        if self.cache is not None:
+            # The request is done on this rank: drop any late or
+            # re-delivered chunks for its id (a retry is answered from
+            # the cache, never re-collected).
+            ctx.collector.discard(request.request_id)
 
 
 # ---------------------------------------------------------------------------
@@ -672,9 +774,11 @@ class _RequestPrefetcher:
         comm: Intracomm | None,
         name: str,
         depth: int = _PREFETCH_DEPTH,
+        cache: ReplyCache | None = None,
     ) -> None:
         self._port = port
         self._comm = comm
+        self._cache = cache
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=depth)
         self._thread = threading.Thread(
             target=self._run, name=f"{name}:prefetch", daemon=True
@@ -691,6 +795,33 @@ class _RequestPrefetcher:
             # Aborted group: the dispatch loops are unwinding anyway.
             pass
 
+    def _replay(self, message: RequestMessage) -> None:
+        """Re-send a recorded reply for a retried request.
+
+        Result chunks are replayed first (a multiport client collects
+        them against the same request id), then the reply frame.  A
+        reply-expecting retry whose frame is not recorded yet — the
+        entry was evicted, or chunk recording raced ahead of the reply
+        on a collective group — is silently dropped: the client's next
+        retry will find either a complete entry or a fresh execution.
+        """
+        reply, chunks = self._cache.replay(message.request_id)
+        if message.reply_port is not None and reply is None:
+            return
+        try:
+            for dst_rank, frames in chunks.items():
+                if dst_rank >= len(message.client_data_ports):
+                    continue
+                dest = message.client_data_ports[dst_rank]
+                for frame in frames:
+                    self._port.send(dest, frame, KIND_DATA)
+            if message.reply_port is not None:
+                self._port.send(message.reply_port, reply, KIND_REPLY)
+        except TransportError:
+            # The retrying client vanished mid-replay; the cache entry
+            # stays for the next attempt.
+            pass
+
     def _run(self) -> None:
         while True:
             try:
@@ -705,6 +836,17 @@ class _RequestPrefetcher:
                 # Garbage on the wire must not kill the object: drop
                 # the datagram and keep serving.
                 continue
+            if self._cache is not None:
+                verdict = self._cache.admit(message.request_id)
+                if verdict == "replay":
+                    # Already executed: answer from the cache without
+                    # touching the servant (effectively-once).
+                    self._replay(message)
+                    continue
+                if verdict == "in-progress":
+                    # The original attempt is still executing; its
+                    # reply will answer the retry too.
+                    continue
             self._relay(message.without_body())
             self._queue.put(message)
         self._relay(None)
@@ -865,6 +1007,8 @@ class ObjectAdapter:
         rts_style: str = "message-passing",
         dispatch_workers: int = 4,
         dispatch_policy: str = "client-fifo",
+        reply_cache_bytes: int = 0,
+        request_timeout: float = 60.0,
     ) -> "ServantGroup":
         group = ServantGroup(
             self.fabric,
@@ -879,6 +1023,8 @@ class ObjectAdapter:
             rts_style=rts_style,
             dispatch_workers=dispatch_workers,
             dispatch_policy=dispatch_policy,
+            reply_cache_bytes=reply_cache_bytes,
+            request_timeout=request_timeout,
         )
         group.start()
         self._groups.append(group)
@@ -908,9 +1054,13 @@ class ServantGroup:
         rts_style: str = "message-passing",
         dispatch_workers: int = 4,
         dispatch_policy: str = "client-fifo",
+        reply_cache_bytes: int = 0,
+        request_timeout: float = 60.0,
     ) -> None:
         if nthreads <= 0:
             raise ValueError("an SPMD object needs at least one thread")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
         if dispatch_workers <= 0:
             raise ValueError("dispatch_workers must be positive")
         if dispatch_policy not in ("client-fifo", "concurrent"):
@@ -941,6 +1091,17 @@ class ServantGroup:
             key: template_to_spec(value)
             for key, value in (templates or {}).items()
         }
+        #: Request dedup for client retries (ISSUE ft pillar 3).  Off
+        #: by default: without it a retried request re-executes
+        #: (at-least-once); with a byte budget, replies are recorded
+        #: and replayed so retries become effectively-once.
+        self.reply_cache = (
+            ReplyCache(reply_cache_bytes) if reply_cache_bytes else None
+        )
+        #: Bound on a dispatched request's waits (chunk collection):
+        #: a half-delivered request frees its dispatch slot after this
+        #: long instead of pinning it for the default minute.
+        self.request_timeout = request_timeout
         self._executor = SpmdExecutor(nthreads, name=f"server:{name}")
         self._handle: SpmdHandle | None = None
         self._request_port: Port | None = None
@@ -1020,6 +1181,7 @@ class ServantGroup:
             fabric=self.fabric,
             templates=self._templates,
             tracer=self.tracer,
+            timeout=self.request_timeout,
         )
         servant = self._servant_factory(ctx)
         if not isinstance(servant, Servant):
@@ -1031,13 +1193,16 @@ class ServantGroup:
         if rank_ctx.rank == 0:
             self._repo_id = servant._repo_id
             self._started.set()
-        engine = _ServerEngine(ctx, servant)
+        engine = _ServerEngine(ctx, servant, cache=self.reply_cache)
         prefetcher: _RequestPrefetcher | None = None
         pool: _DispatchPool | None = None
         if rank_ctx.rank == 0:
             assert self._request_port is not None
             prefetcher = _RequestPrefetcher(
-                self._request_port, ctx.comm, f"server:{self.name}"
+                self._request_port,
+                ctx.comm,
+                f"server:{self.name}",
+                cache=self.reply_cache,
             )
             if ctx.rts is not None:
                 # Collective group: reply transmission moves off the

@@ -32,6 +32,7 @@ import threading
 from collections import deque
 from typing import Any, Callable
 
+from repro.ft.policy import FtStats, effective_policy
 from repro.orb.operation import OperationSpec, RemoteError
 from repro.orb.reference import ObjectReference
 from repro.orb.transfer import (
@@ -115,6 +116,7 @@ class ClientRuntime:
         label: str = "client",
         rts_style: str = "message-passing",
         pipeline_depth: int = 8,
+        ft_policy: Any = None,
     ) -> None:
         if pipeline_depth <= 0:
             raise ValueError("pipeline_depth must be positive")
@@ -124,6 +126,14 @@ class ClientRuntime:
         self.tracer = tracer
         self.timeout = timeout
         self.pipeline_depth = pipeline_depth
+        #: Runtime-wide fault-tolerance policy (a proxy may override).
+        self.ft_policy = ft_policy
+        self.ft_stats = FtStats()
+        # The collective-sequence counter: one draw per collective
+        # invocation, in launch (= program) order, so an invocation's
+        # index is identical on every rank — it names the collective
+        # point a group-agreed failure is raised at.
+        self._collective_indexes = itertools.count()
         self.rank = 0 if comm is None else comm.rank
         self.size = 1 if comm is None else comm.size
         # A private communicator for ORB-internal collectives, so the
@@ -166,6 +176,9 @@ class ClientRuntime:
     def next_request_id(self) -> int:
         return next(self._request_ids)
 
+    def next_collective_index(self) -> int:
+        return next(self._collective_indexes)
+
     def serial_view(self) -> "ClientRuntime":
         """A per-thread (non-collective) view of this runtime.
 
@@ -195,6 +208,12 @@ class ClientRuntime:
         view.demux = self.demux
         view.data_port_addresses = (self.data_port.address,)
         view._request_ids = self._request_ids
+        view.ft_policy = self.ft_policy
+        # Stats are shared (one ledger per thread); the collective
+        # index is not — serial invocations are per-thread and must
+        # not skew the group's collective sequence.
+        view.ft_stats = self.ft_stats
+        view._collective_indexes = itertools.count()
         view._closed = False
         # Share the worker so invocation order is global per thread.
         view._worker = self.worker
@@ -364,11 +383,15 @@ class ClientProxy:
         ref: ObjectReference,
         mode: BindMode,
         transfer: str,
+        ft_policy: Any = None,
     ) -> None:
         self._runtime = runtime
         self._ref = ref
         self._mode = mode
         self._engine = engine_for(transfer)
+        #: Per-proxy fault-tolerance policy; ``None`` defers to the
+        #: runtime's (ORB-wide) policy.
+        self._ft_policy = ft_policy
         #: (operation, slot name) → template spec for out/return
         #: distributed values (§2.2's client-side initialization).
         self._out_templates: dict[tuple[str, str], tuple] = {}
@@ -383,6 +406,7 @@ class ClientProxy:
         host_name: str | None = None,
         *,
         transfer: str | None = None,
+        ft_policy: Any = None,
     ) -> "ClientProxy":
         """Per-thread, non-collective bind (§2.1).
 
@@ -397,6 +421,7 @@ class ClientProxy:
             ref,
             BindMode.SERIAL,
             cls._default_transfer(ref, transfer),
+            ft_policy=ft_policy,
         )
 
     @classmethod
@@ -407,6 +432,7 @@ class ClientProxy:
         host_name: str | None = None,
         *,
         transfer: str | None = None,
+        ft_policy: Any = None,
     ) -> "ClientProxy":
         """Collective bind: all client threads act as one entity.
 
@@ -418,7 +444,8 @@ class ClientProxy:
         if runtime.app_comm is None:
             # A 1-thread client group: degenerate but legal.
             return cls._bind(
-                obj_name, runtime, host_name, transfer=transfer
+                obj_name, runtime, host_name, transfer=transfer,
+                ft_policy=ft_policy,
             )
         if runtime.rank == 0:
             ior = runtime.naming.resolve(obj_name, host_name).ior()
@@ -432,6 +459,7 @@ class ClientProxy:
             ref,
             BindMode.SPMD,
             cls._default_transfer(ref, transfer),
+            ft_policy=ft_policy,
         )
 
     @classmethod
@@ -527,10 +555,17 @@ class ClientProxy:
     def _invoke(self, operation: str, args: tuple) -> Any:
         """Blocking invocation (runs on the rank's worker for ordering
         against outstanding non-blocking calls)."""
-        return self._invoke_nb(operation, args).value(
-            timeout=None if self._runtime.timeout is None
-            else self._runtime.timeout * 2
-        )
+        policy = effective_policy(self._ft_policy, self._runtime)
+        if policy is not None:
+            # The engine owns the deadline; the blocking caller just
+            # needs a safety margin over the worst-case retry budget.
+            timeout = policy.wait_budget(self._runtime.timeout)
+        else:
+            timeout = (
+                None if self._runtime.timeout is None
+                else self._runtime.timeout * 2
+            )
+        return self._invoke_nb(operation, args).value(timeout=timeout)
 
     def _invoke_nb(self, operation: str, args: tuple) -> Future:
         """Non-blocking invocation returning a future (§2.1).
@@ -553,10 +588,22 @@ class ClientProxy:
         }
         return runtime.worker.submit(
             lambda: engine.invoke_begin(
-                runtime, ref, spec, args, out_templates=out_map
+                runtime,
+                ref,
+                spec,
+                args,
+                out_templates=out_map,
+                ft_policy=self._ft_policy,
+                on_degrade=self._on_degrade,
             ),
             label=f"{self._interface}.{operation}",
         )
+
+    def _on_degrade(self) -> None:
+        """Multi-port graceful degradation (engine callback, every
+        rank): subsequent invocations go centralized directly instead
+        of rediscovering the dead data path each time."""
+        self._engine = engine_for("centralized")
 
     def __repr__(self) -> str:
         return (

@@ -405,7 +405,9 @@ class SocketFabric:
                         view.toreadonly(), copy_payload=pooled
                     )
                 except (MarshalError, TransportError):
-                    pass  # drop garbage, keep the connection
+                    # Drop garbage, keep the connection — but count it
+                    # so ``orb.stats()`` surfaces silent frame loss.
+                    self._record_drop(length)
                 del view
                 if pooled:
                     buffers.give(buf)

@@ -58,6 +58,14 @@ from repro.dist import (
     transfer_schedule,
 )
 from repro.dist.schedule import TransferStep
+from repro.ft.agreement import agree, agree_failure
+from repro.ft.policy import (
+    DeadlineExceeded,
+    Failure,
+    effective_policy,
+    failure_to_exception,
+    reconstruct_error,
+)
 from repro.idl.runtime import template_from_spec
 from repro.orb import request as wire
 from repro.orb.operation import (
@@ -75,6 +83,7 @@ from repro.orb.transport import (
     KIND_REQUEST,
     Port,
     TransportError,
+    TransportTimeout,
 )
 
 _NATIVE_LITTLE = sys.byteorder == "little"
@@ -222,6 +231,15 @@ class ChunkCollector:
     its partial entry, and :meth:`discard` retires a request id so
     late chunks for an abandoned request are dropped on arrival
     instead of accumulating forever.
+
+    Within an entry, chunks are filed by their schedule coordinates
+    ``(src rank, global range)`` — the ranges of one (request, param,
+    phase) partition the destination block, so the coordinates are
+    unique and a re-delivered chunk (a duplicated frame, or a retry
+    re-sending data that already landed) replaces its original instead
+    of inflating the count toward ``expected``.  Undecodable frames
+    (truncation faults) are dropped and counted, never raised into an
+    innocent collector's ``collect``.
     """
 
     #: How many discarded request ids to remember.
@@ -231,9 +249,16 @@ class ChunkCollector:
         self._port = port
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._pending: dict[tuple[int, str, int], list[DataChunk]] = {}
+        self._pending: dict[
+            tuple[int, str, int], dict[tuple[int, int, int], DataChunk]
+        ] = {}
         self._receiving = False
         self._retired: OrderedDict[int, None] = OrderedDict()
+        self._counts = {
+            "duplicates_dropped": 0,
+            "late_dropped": 0,
+            "garbage_dropped": 0,
+        }
 
     @property
     def port(self) -> Port:
@@ -243,6 +268,11 @@ class ChunkCollector:
         """How many (request, param, phase) entries are held."""
         with self._lock:
             return len(self._pending)
+
+    def stats(self) -> dict[str, int]:
+        """Drop counters: duplicate, post-retirement, undecodable."""
+        with self._lock:
+            return dict(self._counts)
 
     def discard(self, request_id: int) -> None:
         """Evict all chunks of an abandoned request and drop its late
@@ -274,7 +304,7 @@ class ChunkCollector:
                 with self._cond:
                     have = self._pending.get(key)
                     if have is not None and len(have) >= expected:
-                        return self._pending.pop(key)
+                        return list(self._pending.pop(key).values())
                     if expected <= 0:
                         return []
                     if self._receiving:
@@ -282,7 +312,7 @@ class ChunkCollector:
                         # chunks and notify.
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
-                            raise TransportError(
+                            raise TransportTimeout(
                                 f"timed out collecting chunks for "
                                 f"request {request_id} ('{param}')"
                             )
@@ -306,19 +336,34 @@ class ChunkCollector:
         """Receive and file the next chunk off the port."""
         remaining = deadline - time.monotonic()
         if remaining <= 0:
-            raise TransportError(
+            raise TransportTimeout(
                 f"timed out collecting chunks for request "
                 f"{request_id} ('{param}')"
             )
         _src, _kind, payload = self._port.recv(
             kind=KIND_DATA, timeout=remaining
         )
-        chunk = wire.decode_chunk(payload)
+        try:
+            chunk = wire.decode_chunk(payload)
+        except MarshalError:
+            # A corrupt frame (e.g. an injected truncation) belongs to
+            # one sender's request, not to whoever happens to hold the
+            # receiver role — drop it and keep collecting.
+            with self._cond:
+                self._counts["garbage_dropped"] += 1
+                self._cond.notify_all()
+            return
         with self._cond:
-            if chunk.request_id not in self._retired:
-                self._pending.setdefault(
-                    (chunk.request_id, chunk.param, chunk.phase), []
-                ).append(chunk)
+            if chunk.request_id in self._retired:
+                self._counts["late_dropped"] += 1
+            else:
+                entry = self._pending.setdefault(
+                    (chunk.request_id, chunk.param, chunk.phase), {}
+                )
+                coord = (chunk.src_rank, chunk.global_lo, chunk.global_hi)
+                if coord in entry:
+                    self._counts["duplicates_dropped"] += 1
+                entry[coord] = chunk
             self._cond.notify_all()
 
 
@@ -345,6 +390,7 @@ class ReplyDemux:
         self._lock = threading.Lock()
         self._filed: dict[int, ReplyMessage] = {}
         self._retired: OrderedDict[int, None] = OrderedDict()
+        self._counts = {"late_dropped": 0, "garbage_dropped": 0}
 
     @property
     def port(self) -> Port:
@@ -354,6 +400,11 @@ class ReplyDemux:
         """How many unclaimed replies are filed."""
         with self._lock:
             return len(self._filed)
+
+    def stats(self) -> dict[str, int]:
+        """Drop counters: post-retirement and undecodable replies."""
+        with self._lock:
+            return dict(self._counts)
 
     def poll(self, request_id: int) -> ReplyMessage | None:
         """The filed reply for ``request_id``, if it already arrived."""
@@ -378,19 +429,28 @@ class ReplyDemux:
                 else deadline - time.monotonic()
             )
             if remaining is not None and remaining <= 0:
-                raise TransportError(
+                raise TransportTimeout(
                     f"timed out waiting for the reply to request "
                     f"{request_id}"
                 )
             _src, _kind, payload = self._port.recv(
                 kind=KIND_REPLY, timeout=remaining
             )
-            reply = wire.decode_reply(payload)
+            try:
+                reply = wire.decode_reply(payload)
+            except MarshalError:
+                # A corrupt frame (injected truncation); drop it — the
+                # retry machinery re-requests, not the demux.
+                with self._lock:
+                    self._counts["garbage_dropped"] += 1
+                continue
             if reply.request_id == request_id:
                 return reply
             with self._lock:
                 if reply.request_id not in self._retired:
                     self._filed[reply.request_id] = reply
+                else:
+                    self._counts["late_dropped"] += 1
 
     def discard(self, request_id: int) -> None:
         """Forget an abandoned request; drop its late reply."""
@@ -435,8 +495,17 @@ def send_chunks(
     param: str,
     phase: int,
     tracer: Tracer | None = None,
+    record: Any = None,
 ) -> None:
-    """Ship this rank's outgoing chunks of one parameter."""
+    """Ship this rank's outgoing chunks of one parameter.
+
+    ``record(dst_rank, frame_bytes)``, when given, receives every
+    encoded chunk frame as it goes out — the server's reply cache
+    records reply chunks this way so a retried request can be answered
+    by replaying the exact frames.  Recording flattens each frame (a
+    copy), so it is reserved for the opt-in dedup path; the default
+    path ships segment views untouched.
+    """
     for step in steps:
         if step.src_rank != my_rank:
             continue
@@ -466,9 +535,18 @@ def send_chunks(
                 step.dst_rank,
                 step.nelems,
             )
-        port.send(
-            dest_ports[step.dst_rank], chunk.encode_segments(), KIND_DATA
-        )
+        if record is not None:
+            frame = b"".join(
+                bytes(s) for s in chunk.encode_segments()
+            )
+            record(step.dst_rank, frame)
+            port.send(dest_ports[step.dst_rank], frame, KIND_DATA)
+        else:
+            port.send(
+                dest_ports[step.dst_rank],
+                chunk.encode_segments(),
+                KIND_DATA,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -632,6 +710,147 @@ def staging_array(name: str, length: int, dtype: np.dtype) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Fault-tolerant invocation control
+# ---------------------------------------------------------------------------
+
+
+class _FtInvocation:
+    """Per-invocation retry/deadline state shared by both engines.
+
+    Every decision here is a pure function of (canonical failure,
+    attempt count, policy) — plus this rank's clock only for *filing*
+    a deadline flag before the vote — so the ranks of a collective
+    binding stay in lockstep through every retry, degradation and
+    raise without extra communication.
+    """
+
+    def __init__(
+        self,
+        runtime: "ClientRuntimeLike",
+        spec: OperationSpec,
+        policy: Any,
+        request_id: int,
+    ) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.policy = policy
+        self.request_id = request_id
+        self.start = time.monotonic()
+        #: Retries performed so far (0 = still on the first attempt).
+        self.attempts = 0
+        # The invocation's position in the runtime's collective
+        # sequence; drawn at launch, in program order, so it is
+        # identical on every rank and stable across retries.
+        draw = getattr(runtime, "next_collective_index", None)
+        self.collective_index = draw() if draw is not None else 0
+        self.stats = getattr(runtime, "ft_stats", None)
+
+    # -- local clock (pre-vote only) -------------------------------------
+
+    def _remaining_deadline(self) -> float | None:
+        if self.policy is None or self.policy.deadline_ms is None:
+            return None
+        return self.policy.deadline_ms / 1e3 - (
+            time.monotonic() - self.start
+        )
+
+    def attempt_timeout(self) -> float | None:
+        """The receive window of the current attempt: the runtime
+        timeout, clamped to what is left of the deadline (never below
+        1ms, so an overrun surfaces as a fast timeout — at the normal
+        protocol point — instead of a divergent local raise)."""
+        base = self.runtime.timeout
+        remaining = self._remaining_deadline()
+        if remaining is None:
+            return base
+        remaining = max(remaining, 1e-3)
+        return remaining if base is None else min(base, remaining)
+
+    def timeout_failure(self, exc: Exception) -> Failure:
+        """File a receive timeout, stamping the deadline verdict *now*
+        so the post-vote decision never reads a local clock."""
+        remaining = self._remaining_deadline()
+        return Failure(
+            "timeout",
+            "TIMEOUT",
+            str(exc),
+            rank=self.runtime.rank,
+            deadline_exhausted=(
+                remaining is not None and remaining <= 1e-3
+            ),
+        )
+
+    # -- post-vote decisions (pure) --------------------------------------
+
+    def next_action(self, failure: Failure) -> str:
+        """``"retry"`` / ``"degrade"`` / ``"raise"`` for the canonical
+        failure — identical on every rank by construction."""
+        policy = self.policy
+        if (
+            failure.kind == "unreachable"
+            and policy is not None
+            and policy.degrade_to_centralized
+        ):
+            return "degrade"
+        if (
+            policy is None
+            or failure.deadline_exhausted
+            or self.attempts >= policy.max_retries
+            or not policy.is_retryable(failure)
+        ):
+            return "raise"
+        return "retry"
+
+    def before_retry(self) -> None:
+        self.attempts += 1
+        if self.stats is not None:
+            self.stats.bump("retries")
+        delay = self.policy.backoff_seconds(
+            self.attempts, self.request_id
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def note_agreement(self) -> None:
+        if self.stats is not None and self.runtime.rts is not None:
+            self.stats.bump("agreements")
+
+    def note_degraded(self) -> None:
+        if self.stats is not None:
+            self.stats.bump("degraded")
+
+    def raise_failure(self, failure: Failure) -> None:
+        if self.policy is None:
+            raise reconstruct_error(failure)
+        exc = failure_to_exception(
+            failure,
+            self.policy,
+            operation=self.spec.name,
+            collective_index=self.collective_index,
+            attempts=self.attempts,
+        )
+        if self.stats is not None:
+            self.stats.bump(
+                "deadline_exceeded"
+                if isinstance(exc, DeadlineExceeded)
+                else "retries_exhausted"
+            )
+        raise exc
+
+
+def _retryable_remote(
+    policy: Any, status: int, body: bytes | None
+) -> Failure | None:
+    """A system-exception reply worth retrying, as a filed failure —
+    or ``None`` to let the reply propagate normally."""
+    if policy is None or status != wire.STATUS_SYSTEM_EXCEPTION:
+        return None
+    err = decode_system_exception(body)
+    failure = Failure("remote", err.category, str(err))
+    return failure if policy.is_retryable(failure) else None
+
+
+# ---------------------------------------------------------------------------
 # Client-side engines
 # ---------------------------------------------------------------------------
 
@@ -738,10 +957,18 @@ class TransferEngine:
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
+        ft_policy: Any = None,
+        on_degrade: Any = None,
     ) -> Any:
         """One complete invocation: send, then wait for the reply."""
         kind, payload = self.invoke_begin(
-            runtime, ref, spec, args, out_templates
+            runtime,
+            ref,
+            spec,
+            args,
+            out_templates,
+            ft_policy=ft_policy,
+            on_degrade=on_degrade,
         )
         if kind == "done":
             return payload
@@ -754,6 +981,8 @@ class TransferEngine:
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
+        ft_policy: Any = None,
+        on_degrade: Any = None,
     ) -> tuple[str, Any]:
         """Put the request on the wire; defer the reply.
 
@@ -765,6 +994,11 @@ class TransferEngine:
         overlapping the network round-trips; completions run in launch
         order, so the collective phases inside ``complete`` stay in
         program order on every rank.
+
+        ``ft_policy`` overrides the runtime's fault-tolerance policy
+        for this invocation; ``on_degrade`` is called (once, on every
+        rank) if the multi-port engine falls back to the centralized
+        method mid-invocation.
         """
         raise NotImplementedError
 
@@ -781,6 +1015,8 @@ class CentralizedTransfer(TransferEngine):
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
+        ft_policy: Any = None,
+        on_degrade: Any = None,
     ) -> tuple[str, Any]:
         tracer = runtime.tracer
         req_slots = request_slots(spec)
@@ -799,38 +1035,53 @@ class CentralizedTransfer(TransferEngine):
                 tracer.emit("sync", "client", "pre-invoke")
             rts.synchronize()
         request_id = runtime.next_request_id()
+        ctl = _FtInvocation(
+            runtime, spec, effective_policy(ft_policy, runtime), request_id
+        )
 
-        # Gather distributed arguments onto the communicating thread.
-        gathered: dict[str, np.ndarray | None] = {}
-        for slot in req_slots:
-            if not slot.distributed:
-                continue
-            seq = self._check_dseq_arg(slot, args_by_name[slot.name], runtime)
-            if rts is None:
-                gathered[slot.name] = seq.local_data()
-                continue
-            steps = transfer_schedule(
-                seq.layout, _single_rank_layout(seq.length())
-            )
-            if tracer:
-                for step in steps:
-                    if step.src_rank != 0:
-                        tracer.emit(
-                            "rts-gather", "client", step.src_rank, 0,
-                            step.nelems,
-                        )
-            gathered[slot.name] = rts.gather_chunks(
-                seq.local_data(),
-                steps,
-                root=0,
-                out=(
-                    staging_array(slot.name, seq.length(), seq.dtype)
-                    if runtime.rank == 0
-                    else None
-                ),
-            )
+        def send_phase() -> Failure | None:
+            """One full send: gathers plus the network message.
 
-        if runtime.rank == 0:
+            Re-run verbatim on retry (under the same request id).  A
+            send-side transport error is *filed*, not raised — it
+            surfaces at the agreement vote in ``complete`` so all
+            ranks handle it at the same collective point.
+            """
+            # Gather distributed arguments onto the communicating
+            # thread.
+            gathered: dict[str, np.ndarray | None] = {}
+            for slot in req_slots:
+                if not slot.distributed:
+                    continue
+                seq = self._check_dseq_arg(
+                    slot, args_by_name[slot.name], runtime
+                )
+                if rts is None:
+                    gathered[slot.name] = seq.local_data()
+                    continue
+                steps = transfer_schedule(
+                    seq.layout, _single_rank_layout(seq.length())
+                )
+                if tracer:
+                    for step in steps:
+                        if step.src_rank != 0:
+                            tracer.emit(
+                                "rts-gather", "client", step.src_rank, 0,
+                                step.nelems,
+                            )
+                gathered[slot.name] = rts.gather_chunks(
+                    seq.local_data(),
+                    steps,
+                    root=0,
+                    out=(
+                        staging_array(slot.name, seq.length(), seq.dtype)
+                        if runtime.rank == 0
+                        else None
+                    ),
+                )
+
+            if runtime.rank != 0:
+                return None
             values = {
                 s.name: (
                     gathered[s.name] if s.distributed
@@ -853,62 +1104,123 @@ class CentralizedTransfer(TransferEngine):
             )
             if tracer:
                 tracer.emit("net-request", self.mode, spec.name, len(body))
-            runtime.reply_port.send(
-                ref.request_port, message.encode_segments(), KIND_REQUEST
-            )
+            try:
+                runtime.reply_port.send(
+                    ref.request_port,
+                    message.encode_segments(),
+                    KIND_REQUEST,
+                )
+            except TransportError as exc:
+                if spec.oneway:
+                    raise
+                return Failure(
+                    "transport", "COMM_FAILURE", str(exc),
+                    rank=runtime.rank,
+                )
+            return None
+
+        first_failure = send_phase()
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
             return ("done", None)
 
         def complete() -> Any:
-            reply = None
-            if runtime.rank == 0:
-                try:
-                    reply = runtime.demux.wait(
-                        request_id, timeout=runtime.timeout
-                    )
-                except BaseException:
-                    runtime.demux.discard(request_id)
-                    raise
-                if tracer:
-                    tracer.emit("net-reply", self.mode, len(reply.body))
-            return self._deliver_reply(
-                runtime, spec, reply, args_by_name, tracer,
-                out_templates or {},
-            )
+            try:
+                return self._complete_ft(
+                    runtime, spec, request_id, args_by_name, tracer,
+                    out_templates or {}, ctl, first_failure, send_phase,
+                )
+            except BaseException:
+                runtime.demux.discard(request_id)
+                raise
 
         return ("pending", complete)
+
+    def _complete_ft(
+        self,
+        runtime: "ClientRuntimeLike",
+        spec: OperationSpec,
+        request_id: int,
+        args_by_name: dict[str, Any],
+        tracer: Tracer | None,
+        out_templates: dict[str, tuple],
+        ctl: _FtInvocation,
+        first_failure: Failure | None,
+        send_phase: Any,
+    ) -> Any:
+        """The retrying reply loop: wait, vote, deliver or re-send."""
+        rts = runtime.rts
+        pending = first_failure
+        while True:
+            local = pending
+            pending = None
+            reply = None
+            header = None
+            if local is None and runtime.rank == 0:
+                try:
+                    reply = runtime.demux.wait(
+                        request_id, timeout=ctl.attempt_timeout()
+                    )
+                except TransportTimeout as exc:
+                    local = ctl.timeout_failure(exc)
+                except TransportError as exc:
+                    local = Failure(
+                        "transport", "COMM_FAILURE", str(exc), rank=0
+                    )
+                else:
+                    if tracer:
+                        tracer.emit(
+                            "net-reply", self.mode, len(reply.body)
+                        )
+                    status = reply.status
+                    error_body = (
+                        None
+                        if status == wire.STATUS_OK
+                        else bytes(reply.body)
+                    )
+                    local = _retryable_remote(
+                        ctl.policy, status, error_body
+                    )
+                    if local is None:
+                        header = (status, error_body)
+            # Agreement: the vote that carries rank 0's header on
+            # success, and elects the canonical failure otherwise, so
+            # all ranks leave this point with the same next move.
+            failure, header = agree(rts, local, header)
+            ctl.note_agreement()
+            if failure is None:
+                result = self._deliver_reply(
+                    runtime, spec, reply, header, args_by_name, tracer,
+                    out_templates,
+                )
+                # Retire the id: a duplicated late reply frame must
+                # not pile up in the demux forever.
+                runtime.demux.discard(request_id)
+                return result
+            if ctl.next_action(failure) == "retry":
+                ctl.before_retry()
+                pending = send_phase()
+                continue
+            ctl.raise_failure(failure)
 
     def _deliver_reply(
         self,
         runtime: "ClientRuntimeLike",
         spec: OperationSpec,
         reply: ReplyMessage | None,
+        header: tuple[int, bytes | None],
         args_by_name: dict[str, Any],
         tracer: Tracer | None,
         out_templates: dict[str, tuple],
     ) -> Any:
         rts = runtime.rts
         rep_slots = reply_slots(spec)
-        # The communicating thread decodes; peers learn status and
-        # plain values by broadcast, distributed values by scatter.
-        # Only the status (and, on failure, the small exception body)
-        # is broadcast — the bulk reply body stays on rank 0 as a view
-        # into the receive buffer; views do not survive pickling.
-        if runtime.rank == 0:
-            assert reply is not None
-            status = reply.status
-            error_body = (
-                None
-                if status == wire.STATUS_OK
-                else bytes(reply.body)
-            )
-            header: tuple[int, bytes | None] = (status, error_body)
-        else:
-            header = None  # type: ignore[assignment]
-        if rts is not None:
-            header = rts.broadcast(header, root=0)
+        # The communicating thread decodes; peers learned the status
+        # (and, on failure, the small exception body) from the
+        # agreement vote — the bulk reply body stays on rank 0 as a
+        # view into the receive buffer and reaches the peers by
+        # scatter; views do not survive pickling.
         status, error_body = header
         if status != wire.STATUS_OK:
             self._raise_for_status(spec, status, error_body)
@@ -985,6 +1297,8 @@ class MultiPortTransfer(TransferEngine):
         spec: OperationSpec,
         args: tuple,
         out_templates: dict[str, tuple] | None = None,
+        ft_policy: Any = None,
+        on_degrade: Any = None,
     ) -> tuple[str, Any]:
         if not ref.multiport_capable:
             raise RemoteError(
@@ -1006,6 +1320,9 @@ class MultiPortTransfer(TransferEngine):
                 tracer.emit("sync", "client", "pre-invoke")
             rts.synchronize()
         request_id = runtime.next_request_id()
+        ctl = _FtInvocation(
+            runtime, spec, effective_policy(ft_policy, runtime), request_id
+        )
 
         # Validate distributed arguments and record their layouts in
         # the header, so the server can compute the same schedules.
@@ -1016,57 +1333,92 @@ class MultiPortTransfer(TransferEngine):
             seq = self._check_dseq_arg(slot, args_by_name[slot.name], runtime)
             dist_layouts.append((slot.name, seq.layout.local_lengths()))
 
-        # The invocation header is delivered using the centralized
-        # method (§3.3): the communicating thread sends it.
-        if runtime.rank == 0:
-            body = plain_body_encoder(req_slots, args_by_name)
-            message = RequestMessage(
-                request_id=request_id,
-                object_key=ref.object_key,
-                operation=spec.name,
-                mode=self.mode,
-                oneway=spec.oneway,
-                reply_port=(
-                    None if spec.oneway else runtime.reply_port.address
-                ),
-                client_nthreads=runtime.size,
-                client_data_ports=runtime.data_port_addresses,
-                dist_layouts=tuple(dist_layouts),
-                out_templates=tuple(
-                    sorted((out_templates or {}).items())
-                ),
-                body=body,
-            )
-            if tracer:
-                tracer.emit("net-request", self.mode, spec.name, len(body))
-            runtime.reply_port.send(
-                ref.request_port, message.encode_segments(), KIND_REQUEST
-            )
+        def send_phase() -> Failure | None:
+            """One full send: header plus this rank's chunks.
 
-        # Each thread ships its own chunks straight to the owning
-        # server threads.
-        for slot in req_slots:
-            if not slot.distributed:
-                continue
-            seq: DistributedSequence = args_by_name[slot.name]
-            dst_layout = server_layout(
-                ref.template_spec(spec.name, slot.name),
-                seq.length(),
-                ref.nthreads,
-            )
-            steps = transfer_schedule(seq.layout, dst_layout)
-            send_chunks(
-                runtime.data_port,
-                ref.data_ports,
-                steps,
-                runtime.rank,
-                seq.local_data(),
-                request_id,
-                slot.name,
-                wire.PHASE_REQUEST,
-                tracer,
-            )
+            Re-run verbatim on retry (same request id — the server's
+            collector dedups re-delivered chunk ranges, its reply
+            cache dedups the header).  Failures are *filed* for the
+            agreement vote in ``complete``, with one distinction: a
+            chunk-send failure is ``"unreachable"`` — the data never
+            reached the owning server thread, so the group may degrade
+            to the centralized method under a fresh id without risking
+            double execution.
+            """
+            # The invocation header is delivered using the centralized
+            # method (§3.3): the communicating thread sends it.
+            if runtime.rank == 0:
+                body = plain_body_encoder(req_slots, args_by_name)
+                message = RequestMessage(
+                    request_id=request_id,
+                    object_key=ref.object_key,
+                    operation=spec.name,
+                    mode=self.mode,
+                    oneway=spec.oneway,
+                    reply_port=(
+                        None
+                        if spec.oneway
+                        else runtime.reply_port.address
+                    ),
+                    client_nthreads=runtime.size,
+                    client_data_ports=runtime.data_port_addresses,
+                    dist_layouts=tuple(dist_layouts),
+                    out_templates=tuple(
+                        sorted((out_templates or {}).items())
+                    ),
+                    body=body,
+                )
+                if tracer:
+                    tracer.emit(
+                        "net-request", self.mode, spec.name, len(body)
+                    )
+                try:
+                    runtime.reply_port.send(
+                        ref.request_port,
+                        message.encode_segments(),
+                        KIND_REQUEST,
+                    )
+                except TransportError as exc:
+                    if spec.oneway:
+                        raise
+                    return Failure(
+                        "transport", "COMM_FAILURE", str(exc), rank=0
+                    )
 
+            # Each thread ships its own chunks straight to the owning
+            # server threads.
+            try:
+                for slot in req_slots:
+                    if not slot.distributed:
+                        continue
+                    seq: DistributedSequence = args_by_name[slot.name]
+                    dst_layout = server_layout(
+                        ref.template_spec(spec.name, slot.name),
+                        seq.length(),
+                        ref.nthreads,
+                    )
+                    steps = transfer_schedule(seq.layout, dst_layout)
+                    send_chunks(
+                        runtime.data_port,
+                        ref.data_ports,
+                        steps,
+                        runtime.rank,
+                        seq.local_data(),
+                        request_id,
+                        slot.name,
+                        wire.PHASE_REQUEST,
+                        tracer,
+                    )
+            except TransportError as exc:
+                if spec.oneway:
+                    raise
+                return Failure(
+                    "unreachable", "COMM_FAILURE", str(exc),
+                    rank=runtime.rank,
+                )
+            return None
+
+        first_failure = send_phase()
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
@@ -1074,106 +1426,198 @@ class MultiPortTransfer(TransferEngine):
 
         def complete() -> Any:
             try:
-                return self._complete(
-                    runtime, spec, request_id, args_by_name, tracer
+                return self._complete_ft(
+                    runtime, ref, spec, args, request_id, args_by_name,
+                    tracer, out_templates or {}, ctl, first_failure,
+                    send_phase, on_degrade,
                 )
             except BaseException:
                 # Abandoned request: evict its chunks and drop any
                 # late reply so nothing accumulates.
-                if runtime.rank == 0:
-                    runtime.demux.discard(request_id)
+                runtime.demux.discard(request_id)
                 runtime.collector.discard(request_id)
                 raise
 
         return ("pending", complete)
 
-    def _complete(
+    def _complete_ft(
         self,
         runtime: "ClientRuntimeLike",
+        ref: ObjectReference,
         spec: OperationSpec,
+        args: tuple,
         request_id: int,
         args_by_name: dict[str, Any],
         tracer: Tracer | None,
+        out_templates: dict[str, tuple],
+        ctl: _FtInvocation,
+        first_failure: Failure | None,
+        send_phase: Any,
+        on_degrade: Any,
     ) -> Any:
-        # Reply: header centralized, data chunks direct.
+        """The retrying reply loop: two agreement stages per attempt.
+
+        Stage 1 votes on the reply header (rank 0's receive), stage 2
+        on chunk collection (every rank receives on its own data
+        port).  Received chunk data is staged and only installed into
+        argument sequences after stage 2 succeeds, so a failed attempt
+        never leaves a rank's ``inout`` arguments half-updated.
+        """
         rts = runtime.rts
-        if runtime.rank == 0:
-            reply = runtime.demux.wait(
-                request_id, timeout=runtime.timeout
-            )
-            if tracer:
-                tracer.emit("net-reply", self.mode, len(reply.body))
-            # The multi-port reply body holds plain values only (bulk
-            # data travels as chunks); a small bytes copy makes it
-            # broadcastable to the peer ranks.
-            body = bytes(reply.body)
-            copied(len(body))
-            header = (reply.status, body, reply.dist_layouts)
-        else:
-            header = None  # type: ignore[assignment]
-        if rts is not None:
-            header = rts.broadcast(header, root=0)
-        status, body, reply_layouts = header
-        if status != wire.STATUS_OK:
-            self._raise_for_status(spec, status, body)
-
-        values = decode_plain_body(reply_slots(spec), body)
-        detach_plain_values(reply_slots(spec), values)
-        reply_layout_map = {
-            name: (client_lengths, server_lengths)
-            for name, client_lengths, server_lengths in reply_layouts
-        }
-        for slot in reply_slots(spec):
-            if not slot.distributed:
+        rep_slots = reply_slots(spec)
+        pending = first_failure
+        while True:
+            local = pending
+            pending = None
+            reply = None
+            header_payload = None
+            if local is None and runtime.rank == 0:
+                try:
+                    reply = runtime.demux.wait(
+                        request_id, timeout=ctl.attempt_timeout()
+                    )
+                except TransportTimeout as exc:
+                    local = ctl.timeout_failure(exc)
+                except TransportError as exc:
+                    local = Failure(
+                        "transport", "COMM_FAILURE", str(exc), rank=0
+                    )
+                else:
+                    if tracer:
+                        tracer.emit(
+                            "net-reply", self.mode, len(reply.body)
+                        )
+                    # The multi-port reply body holds plain values
+                    # only (bulk data travels as chunks); a small
+                    # bytes copy makes it voteable to the peer ranks.
+                    body = bytes(reply.body)
+                    copied(len(body))
+                    local = _retryable_remote(
+                        ctl.policy, reply.status, body
+                    )
+                    if local is None:
+                        header_payload = (
+                            reply.status, body, reply.dist_layouts
+                        )
+            failure, header = agree(rts, local, header_payload)
+            ctl.note_agreement()
+            if failure is None:
+                status, body, reply_layouts = header
+                if status != wire.STATUS_OK:
+                    self._raise_for_status(spec, status, body)
+                values = decode_plain_body(rep_slots, body)
+                detach_plain_values(rep_slots, values)
+                reply_layout_map = {
+                    name: (client_lengths, server_lengths)
+                    for name, client_lengths, server_lengths
+                    in reply_layouts
+                }
+                # Stage 2: collect this rank's chunks into staged
+                # buffers (installed only after the vote below).
+                staged: list[tuple[Slot, Layout, np.ndarray]] = []
+                local2: Failure | None = None
+                try:
+                    for slot in rep_slots:
+                        if not slot.distributed:
+                            continue
+                        lengths = reply_layout_map.get(slot.name)
+                        if lengths is None:
+                            raise RemoteError(
+                                f"reply is missing the layout of "
+                                f"'{slot.name}'",
+                                category="MARSHAL",
+                            )
+                        client_lengths, server_lengths = lengths
+                        layout = Layout.from_local_lengths(client_lengths)
+                        src_layout = Layout.from_local_lengths(
+                            server_lengths
+                        )
+                        if layout.nranks != runtime.size:
+                            raise RemoteError(
+                                f"reply layout of '{slot.name}' spans "
+                                f"{layout.nranks} threads, client has "
+                                f"{runtime.size}",
+                                category="MARSHAL",
+                            )
+                        if src_layout.length != layout.length:
+                            raise RemoteError(
+                                f"reply layouts of '{slot.name}' "
+                                f"disagree on length",
+                                category="MARSHAL",
+                            )
+                        dtype = slot.typecode.element_dtype  # type: ignore[attr-defined]
+                        local_arr = np.zeros(
+                            layout.local_length(runtime.rank), dtype=dtype
+                        )
+                        # Both sides compute the same reply schedule
+                        # (the server's final layout → the client
+                        # layout in the reply), so the expected chunk
+                        # count is exact.
+                        steps = transfer_schedule(src_layout, layout)
+                        expected = sum(
+                            1 for s in steps
+                            if s.dst_rank == runtime.rank
+                        )
+                        chunks = runtime.collector.collect(
+                            request_id,
+                            slot.name,
+                            wire.PHASE_REPLY,
+                            expected,
+                            timeout=ctl.attempt_timeout() or 60.0,
+                        )
+                        assemble_chunks(
+                            chunks, layout, runtime.rank, dtype,
+                            local_arr,
+                        )
+                        staged.append((slot, layout, local_arr))
+                except TransportTimeout as exc:
+                    local2 = ctl.timeout_failure(exc)
+                except (TransportError, MarshalError) as exc:
+                    local2 = Failure(
+                        "transport", "COMM_FAILURE", str(exc),
+                        rank=runtime.rank,
+                    )
+                failure = agree_failure(rts, local2)
+                ctl.note_agreement()
+                if failure is None:
+                    for slot, layout, local_arr in staged:
+                        values[slot.name] = self._install_reply_sequence(
+                            slot, layout, local_arr, args_by_name,
+                            runtime,
+                        )
+                    if rts is not None:
+                        if tracer:
+                            tracer.emit("sync", "client", "post-invoke")
+                        rts.synchronize()
+                    # Retire the id: late/duplicated frames for it are
+                    # dropped on arrival from now on.
+                    runtime.demux.discard(request_id)
+                    runtime.collector.discard(request_id)
+                    return compose(
+                        [values[s.name] for s in produced_slots(spec)]
+                    )
+            action = ctl.next_action(failure)
+            if action == "retry":
+                ctl.before_retry()
+                pending = send_phase()
                 continue
-            lengths = reply_layout_map.get(slot.name)
-            if lengths is None:
-                raise RemoteError(
-                    f"reply is missing the layout of '{slot.name}'",
-                    category="MARSHAL",
+            if action == "degrade":
+                # The data path to some server thread is gone but the
+                # header path works: collectively fall back to the
+                # centralized method.  The failed attempt's data never
+                # reached the owning thread, so the server cannot have
+                # executed it — a fresh-id centralized invocation is
+                # exactly-once safe.
+                ctl.note_degraded()
+                runtime.demux.discard(request_id)
+                runtime.collector.discard(request_id)
+                if on_degrade is not None:
+                    on_degrade()
+                return CentralizedTransfer().invoke(
+                    runtime, ref, spec, args, out_templates,
+                    ft_policy=ctl.policy,
                 )
-            client_lengths, server_lengths = lengths
-            layout = Layout.from_local_lengths(client_lengths)
-            src_layout = Layout.from_local_lengths(server_lengths)
-            if layout.nranks != runtime.size:
-                raise RemoteError(
-                    f"reply layout of '{slot.name}' spans "
-                    f"{layout.nranks} threads, client has {runtime.size}",
-                    category="MARSHAL",
-                )
-            if src_layout.length != layout.length:
-                raise RemoteError(
-                    f"reply layouts of '{slot.name}' disagree on length",
-                    category="MARSHAL",
-                )
-            dtype = slot.typecode.element_dtype  # type: ignore[attr-defined]
-            local = np.zeros(layout.local_length(runtime.rank), dtype=dtype)
-            # Both sides compute the same reply schedule (the server's
-            # final layout → the client layout in the reply), so the
-            # expected chunk count is exact.
-            steps = transfer_schedule(src_layout, layout)
-            expected = sum(
-                1 for s in steps if s.dst_rank == runtime.rank
-            )
-            chunks = runtime.collector.collect(
-                request_id,
-                slot.name,
-                wire.PHASE_REPLY,
-                expected,
-                timeout=runtime.timeout,
-            )
-            assemble_chunks(chunks, layout, runtime.rank, dtype, local)
-            values[slot.name] = self._install_reply_sequence(
-                slot, layout, local, args_by_name, runtime
-            )
-
-        if rts is not None:
-            if tracer:
-                tracer.emit("sync", "client", "post-invoke")
-            rts.synchronize()
-        return compose(
-            [values[s.name] for s in produced_slots(spec)]
-        )
+            ctl.raise_failure(failure)
 
 class ClientRuntimeLike:
     """Structural documentation of what engines need from a runtime.
@@ -1193,6 +1637,14 @@ class ClientRuntimeLike:
     demux: ReplyDemux
     tracer: Tracer | None
     timeout: float
+    #: Optional fault-tolerance surface (engines fall back gracefully
+    #: when a runtime stub lacks these): the ORB-wide FtPolicy, the
+    #: per-runtime FtStats, and the collective-sequence counter.
+    ft_policy: Any = None
+    ft_stats: Any = None
 
     def next_request_id(self) -> int:
+        raise NotImplementedError
+
+    def next_collective_index(self) -> int:
         raise NotImplementedError

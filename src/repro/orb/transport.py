@@ -38,6 +38,16 @@ class TransportError(RuntimeError):
     """Port closed, unknown address, timeout, or misuse."""
 
 
+class TransportTimeout(TransportError):
+    """A receive window expired with no message.
+
+    A distinct subclass so fault-tolerant callers can classify a
+    timeout (possibly-lost frame: retryable under a deadline budget)
+    apart from structural transport failures, without matching
+    message strings.
+    """
+
+
 def check_payload(payload: Any) -> int:
     """Validate a send payload and return its total byte length.
 
@@ -135,7 +145,7 @@ class Port:
                     continue
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise TransportError(
+                    raise TransportTimeout(
                         f"recv on port {self.address} timed out "
                         f"(kind={kind})"
                     )

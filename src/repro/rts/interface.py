@@ -78,6 +78,19 @@ class RuntimeSystem(ABC):
         """Scatter from an assembled array on ``root`` into per-rank
         ``out`` blocks, following a single-source schedule."""
 
+    def allgather(self, obj: Any) -> list[Any]:
+        """Every thread's ``obj``, by rank, on every thread.
+
+        The fault-tolerance agreement protocol votes through this
+        call.  The default realizes it as ``size`` broadcasts, which
+        any RTS supports; concrete systems override with their native
+        collective.
+        """
+        return [
+            self.broadcast(obj if self.rank == root else None, root)
+            for root in range(self.size)
+        ]
+
 
 class MessagePassingRTS(RuntimeSystem):
     """Message-passing realization over :class:`Intracomm`.
@@ -108,6 +121,9 @@ class MessagePassingRTS(RuntimeSystem):
 
     def broadcast(self, obj: Any, root: int) -> Any:
         return self._comm.bcast(obj, root=root)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._comm.allgather(obj)
 
     def gather_chunks(
         self,

@@ -173,6 +173,9 @@ class OneSidedRTS(RuntimeSystem):
     def broadcast(self, obj: Any, root: int) -> Any:
         return self._comm.bcast(obj, root=root)
 
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._comm.allgather(obj)
+
     def gather_chunks(
         self,
         local: np.ndarray,

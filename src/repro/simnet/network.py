@@ -45,12 +45,19 @@ class SharedLink:
         sim: Simulator,
         bandwidth: float,
         latency: float = 0.0,
+        fault_schedule: object | None = None,
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError("link bandwidth must be positive")
         self.sim = sim
         self.bandwidth = bandwidth
         self.latency = latency
+        #: Optional :class:`repro.ft.faults.FaultSchedule`.  A
+        #: ``"drop"`` decision models a lost-and-retransmitted
+        #: transfer: the payload crosses the link twice and pays one
+        #: extra latency (the retransmit timeout), so loss shows up as
+        #: goodput degradation rather than a hang.
+        self.fault_schedule = fault_schedule
         self._active: list[_Transfer] = []
         self._last_update = 0.0
         self._wakeup_tag = 0
@@ -59,6 +66,8 @@ class SharedLink:
         self.bytes_carried = 0.0
         #: Integral of busy time (at least one active transfer).
         self.busy_time = 0.0
+        #: Transfers the fault schedule dropped (then retransmitted).
+        self.faults_injected = 0
 
     def transmit(self, nbytes: float) -> Event:
         """Start a transfer; returns its completion event."""
@@ -68,6 +77,15 @@ class SharedLink:
         if nbytes == 0:
             self.sim._schedule(self.latency, event.succeed)
             return event
+        extra_latency = 0.0
+        if self.fault_schedule is not None and "drop" in (
+            self.fault_schedule.decide("data")
+        ):
+            # Lost on the wire: the sender retransmits after one
+            # extra latency, and the payload is carried twice.
+            self.faults_injected += 1
+            extra_latency = self.latency
+            nbytes *= 2
         self.bytes_carried += nbytes
 
         def start() -> None:
@@ -78,7 +96,7 @@ class SharedLink:
             self._reschedule()
 
         # Latency first, then the queue.
-        self.sim._schedule(self.latency, start)
+        self.sim._schedule(self.latency + extra_latency, start)
         return event
 
     @property

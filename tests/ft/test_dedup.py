@@ -1,0 +1,118 @@
+"""The server-side reply cache (repro.ft.dedup): admission verdicts,
+replay payloads, the chunk/reply recording race, byte-budget LRU."""
+
+import pytest
+
+from repro.ft.dedup import ReplyCache
+
+
+class TestAdmission:
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            ReplyCache(0)
+
+    def test_fresh_id_is_new(self):
+        cache = ReplyCache(1 << 16)
+        assert cache.admit(1) == "new"
+
+    def test_duplicate_while_executing_is_in_progress(self):
+        cache = ReplyCache(1 << 16)
+        cache.admit(1)
+        assert cache.admit(1) == "in-progress"
+        assert cache.stats()["duplicates_dropped"] == 1
+
+    def test_completed_id_is_replay(self):
+        cache = ReplyCache(1 << 16)
+        cache.admit(1)
+        cache.record_reply(1, b"reply-frame")
+        assert cache.admit(1) == "replay"
+        reply, chunks = cache.replay(1)
+        assert reply == b"reply-frame"
+        assert chunks == {}
+
+
+class TestRecording:
+    def test_chunks_then_reply_merge_into_one_entry(self):
+        # On a collective group peer ranks record chunks concurrently
+        # with rank 0's reply; order must not matter.
+        cache = ReplyCache(1 << 16)
+        cache.admit(7)
+        cache.record_chunks(7, 1, b"chunk-a")
+        cache.record_chunks(7, 1, b"chunk-b")
+        cache.record_chunks(7, 0, b"chunk-c")
+        cache.record_reply(7, b"the-reply")
+        reply, chunks = cache.replay(7)
+        assert reply == b"the-reply"
+        assert chunks == {1: [b"chunk-a", b"chunk-b"], 0: [b"chunk-c"]}
+
+    def test_incomplete_entry_replays_none_reply(self):
+        # Chunks recorded but the reply not yet: the replay path must
+        # see reply None and hold off (the client will retry again).
+        cache = ReplyCache(1 << 16)
+        cache.admit(7)
+        cache.record_chunks(7, 0, b"early")
+        reply, chunks = cache.replay(7)
+        assert reply is None
+        assert chunks == {0: [b"early"]}
+
+    def test_oneway_records_none_and_swallows_duplicates(self):
+        cache = ReplyCache(1 << 16)
+        cache.admit(3)
+        cache.record_reply(3, None)
+        assert cache.admit(3) == "replay"
+        assert cache.replay(3) == (None, {})
+
+    def test_chunks_for_unknown_id_are_ignored(self):
+        cache = ReplyCache(1 << 16)
+        cache.record_chunks(99, 0, b"orphan")
+        assert len(cache) == 0
+
+    def test_forget_drops_everything(self):
+        cache = ReplyCache(1 << 16)
+        cache.admit(5)
+        cache.record_reply(5, b"sys-exc-reply")
+        cache.forget(5)
+        assert cache.admit(5) == "new"  # re-executes
+        assert cache.stats()["forgotten"] == 1
+
+
+class TestEviction:
+    def test_lru_eviction_respects_byte_budget(self):
+        cache = ReplyCache(100)
+        for rid in range(4):
+            cache.admit(rid)
+            cache.record_reply(rid, bytes(40))
+        stats = cache.stats()
+        assert stats["evictions"] >= 2
+        assert stats["bytes"] <= 100
+        # The oldest entries went first.
+        assert cache.admit(0) == "new"
+        assert cache.admit(3) == "replay"
+
+    def test_replay_refreshes_lru_position(self):
+        cache = ReplyCache(100)
+        cache.admit(0)
+        cache.record_reply(0, bytes(40))
+        cache.admit(1)
+        cache.record_reply(1, bytes(40))
+        assert cache.admit(0) == "replay"  # touch 0
+        cache.admit(2)
+        cache.record_reply(2, bytes(40))  # evicts 1, not 0
+        assert cache.admit(0) == "replay"
+        assert cache.admit(1) == "new"
+
+    def test_single_giant_entry_survives_over_budget(self):
+        cache = ReplyCache(10)
+        cache.admit(1)
+        cache.record_reply(1, bytes(50))
+        assert cache.admit(1) == "replay"
+
+    def test_evicted_entry_replays_as_missing(self):
+        cache = ReplyCache(50)
+        cache.admit(1)
+        cache.record_reply(1, bytes(40))
+        verdict = cache.admit(1)
+        cache.admit(2)
+        cache.record_reply(2, bytes(40))  # evicts 1
+        assert verdict == "replay"
+        assert cache.replay(1) == (None, {})

@@ -1,0 +1,121 @@
+"""The fault-injection fabric: deterministic schedules, each fault
+kind's observable effect on a real in-process fabric."""
+
+import time
+
+import pytest
+
+from repro.ft.faults import FaultSchedule, FaultyFabric
+from repro.orb.transport import (
+    Fabric,
+    KIND_CONTROL,
+    KIND_REQUEST,
+    TransportError,
+)
+
+
+class TestSchedule:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="drop"):
+            FaultSchedule(drop=1.5)
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultSchedule(delay_ms=-1)
+        with pytest.raises(ValueError, match="start_after"):
+            FaultSchedule(start_after=-1)
+
+    def test_same_seed_same_decision_stream(self):
+        a = FaultSchedule(seed=5, drop=0.3, duplicate=0.3)
+        b = FaultSchedule(seed=5, drop=0.3, duplicate=0.3)
+        decisions = [a.decide("request") for _ in range(200)]
+        assert decisions == [b.decide("request") for _ in range(200)]
+        assert any(decisions)  # at 30% the stream is not all-clean
+
+    def test_different_seed_diverges(self):
+        a = FaultSchedule(seed=1, drop=0.5)
+        b = FaultSchedule(seed=2, drop=0.5)
+        assert [a.decide("request") for _ in range(64)] != [
+            b.decide("request") for _ in range(64)
+        ]
+
+    def test_unlisted_kind_is_never_faulted(self):
+        schedule = FaultSchedule(seed=0, drop=1.0)
+        assert schedule.decide("control") == ()
+
+    def test_start_after_exempts_first_sends_keeping_alignment(self):
+        grace = FaultSchedule(seed=9, drop=0.4, start_after=10)
+        plain = FaultSchedule(seed=9, drop=0.4)
+        for _ in range(10):
+            assert grace.decide("request") == ()
+            plain.decide("request")  # burn the same draws
+        # After the grace period the two streams are identical.
+        assert [grace.decide("request") for _ in range(50)] == [
+            plain.decide("request") for _ in range(50)
+        ]
+
+
+class TestFaultyFabric:
+    def _pair(self, schedule):
+        fabric = FaultyFabric(Fabric("faults-test"), schedule)
+        src = fabric.open_port("src")
+        dst = fabric.open_port("dst")
+        return fabric, src, dst
+
+    def test_clean_schedule_forwards_everything(self):
+        fabric, src, dst = self._pair(FaultSchedule(seed=0))
+        src.send(dst.address, b"hello", KIND_REQUEST)
+        _src, _kind, payload = dst.recv(timeout=1.0)
+        assert bytes(payload) == b"hello"
+        assert fabric.fault_stats()["forwarded"] == 1
+
+    def test_drop_loses_the_frame(self):
+        fabric, src, dst = self._pair(FaultSchedule(seed=0, drop=1.0))
+        src.send(dst.address, b"gone", KIND_REQUEST)
+        with pytest.raises(TransportError, match="timed out"):
+            dst.recv(timeout=0.05)
+        assert fabric.fault_stats()["drop"] == 1
+
+    def test_duplicate_delivers_twice(self):
+        _fabric, src, dst = self._pair(
+            FaultSchedule(seed=0, duplicate=1.0)
+        )
+        src.send(dst.address, b"twice", KIND_REQUEST)
+        assert bytes(dst.recv(timeout=1.0)[2]) == b"twice"
+        assert bytes(dst.recv(timeout=1.0)[2]) == b"twice"
+
+    def test_truncate_shortens_the_frame(self):
+        _fabric, src, dst = self._pair(
+            FaultSchedule(seed=0, truncate=1.0)
+        )
+        src.send(dst.address, b"x" * 100, KIND_REQUEST)
+        payload = bytes(dst.recv(timeout=1.0)[2])
+        assert 0 < len(payload) < 100
+
+    def test_disconnect_raises_at_send(self):
+        _fabric, src, dst = self._pair(
+            FaultSchedule(seed=0, disconnect=1.0)
+        )
+        with pytest.raises(TransportError, match="unreachable"):
+            src.send(dst.address, b"nope", KIND_REQUEST)
+
+    def test_delay_defers_delivery(self):
+        _fabric, src, dst = self._pair(
+            FaultSchedule(seed=0, delay=1.0, delay_ms=60.0)
+        )
+        src.send(dst.address, b"late", KIND_REQUEST)
+        start = time.monotonic()
+        assert bytes(dst.recv(timeout=2.0)[2]) == b"late"
+        assert time.monotonic() - start >= 0.04
+
+    def test_control_frames_pass_untouched_by_default(self):
+        _fabric, src, dst = self._pair(FaultSchedule(seed=0, drop=1.0))
+        src.send(dst.address, b"shutdown", KIND_CONTROL)
+        assert bytes(dst.recv(timeout=1.0)[2]) == b"shutdown"
+
+    def test_delegates_fabric_surface(self):
+        inner = Fabric("delegate-test")
+        fabric = FaultyFabric(inner, FaultSchedule())
+        port = fabric.open_port("p")
+        assert fabric.open_port_count() == 1
+        assert "FaultyFabric" in repr(fabric)
+        port.close()
+        assert fabric.open_port_count() == 0

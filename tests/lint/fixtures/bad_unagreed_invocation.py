@@ -1,0 +1,10 @@
+"""Fixture: a rank-guarded proxy invocation with no agreement (PD208)."""
+
+
+def probe(proxy_cls, runtime, rank):
+    solver = proxy_cls._spmd_bind("solver", runtime)
+    if rank == 0:
+        status = solver.status()
+    else:
+        status = None
+    return status

@@ -15,6 +15,7 @@ PY_CASES = [
     ("bad_touch_loop.py", "PD203", 8, "issue every request first"),
     ("bad_transfer_mismatch.py", "PD204", 6, "multiport=True"),
     ("bad_transfer_name.py", "PD205", 5, "valid transfer methods"),
+    ("bad_unagreed_invocation.py", "PD208", 7, "agree"),
 ]
 
 
@@ -131,5 +132,43 @@ def test_matching_transfer_and_registration_is_clean():
         "    orb.serve('grid', factory, multiport=True)\n"
         "    return proxy_cls._spmd_bind(\n"
         "        'grid', runtime, transfer='multiport')\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_guarded_invocation_with_agreement_is_clean():
+    source = (
+        "from repro.ft.agreement import agree_failure\n"
+        "def probe(proxy_cls, runtime, rank, rts):\n"
+        "    solver = proxy_cls._spmd_bind('solver', runtime)\n"
+        "    failure = None\n"
+        "    if rank == 0:\n"
+        "        try:\n"
+        "            solver.status()\n"
+        "        except Exception:\n"
+        "            failure = 'down'\n"
+        "    return agree_failure(rts, failure)\n"
+    )
+    assert [
+        d
+        for d in lint_python_source(source)
+        if d.rule == "PD208"
+    ] == []
+
+
+def test_unguarded_proxy_invocation_is_clean():
+    source = (
+        "def run(proxy_cls, runtime, rank):\n"
+        "    solver = proxy_cls._spmd_bind('solver', runtime)\n"
+        "    return solver.step(rank)\n"
+    )
+    assert lint_python_source(source) == []
+
+
+def test_guarded_call_on_untracked_object_is_clean():
+    source = (
+        "def run(log, rank):\n"
+        "    if rank == 0:\n"
+        "        log.write('hello')\n"
     )
     assert lint_python_source(source) == []
