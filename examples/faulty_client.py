@@ -7,8 +7,11 @@ the same loss:
 - a retrying :class:`FtPolicy` — every invocation completes, the
   server's reply cache answering retried requests whose reply was the
   lost frame (so the servant never re-executes);
-- retries disabled — the first lost frame surfaces as
-  :class:`DeadlineExceeded` instead of hanging the client.
+- retries disabled — the first lost frame surfaces as an error
+  instead of hanging the client: :class:`DeadlineExceeded` when the
+  loss shows up as a client-side timeout (lost reply),
+  :class:`InvocationRetriesExhausted` when the server saw the loss
+  first and answered with a COMM_FAILURE (lost data chunk).
 
 ``orb.stats()`` shows the whole story afterwards: frames the schedule
 dropped, retries the policy spent, replays the server's cache served.
@@ -24,6 +27,7 @@ from repro import (
     FaultSchedule,
     FaultyFabric,
     FtPolicy,
+    InvocationRetriesExhausted,
     compile_idl,
 )
 from repro.orb.transport import Fabric
@@ -72,7 +76,11 @@ def retrying_run(orb):
 
 
 def fragile_run(orb):
-    """Retries off: the same loss becomes a deadline error."""
+    """Retries off: the same loss becomes a prompt error.  Which
+    error depends on where the frame was lost — a lost reply times
+    the client out (DeadlineExceeded), a lost data chunk makes the
+    server answer COMM_FAILURE (InvocationRetriesExhausted, zero
+    retries allowed)."""
     policy = FtPolicy(deadline_ms=250.0, max_retries=0)
     runtime = orb.client_runtime(label="fragile", ft_policy=policy)
     try:
@@ -81,7 +89,7 @@ def fragile_run(orb):
         for i in range(REQUESTS):
             try:
                 proxy.roundtrip(data)
-            except DeadlineExceeded as exc:
+            except (DeadlineExceeded, InvocationRetriesExhausted) as exc:
                 return i, exc
         raise AssertionError("the seeded schedule dropped nothing")
     finally:

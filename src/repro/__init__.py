@@ -32,6 +32,11 @@ importing :mod:`repro` stays cheap.  The subpackages are:
     Fault tolerance: invocation policies (deadlines, retry/backoff),
     collective failure agreement, server-side request dedup, and the
     fault-injection fabric (see ``docs/robustness.md``).
+``repro.trace``
+    Collective-aware tracing and metrics: rank-tagged spans correlated
+    by a trace id propagated in the request header, a metrics
+    registry, and a Chrome-trace exporter (see
+    ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -68,6 +73,8 @@ _EXPORTS = {
         "repro.ft",
         "InvocationRetriesExhausted",
     ),
+    "TraceRecorder": ("repro.trace", "TraceRecorder"),
+    "MetricsRegistry": ("repro.trace", "MetricsRegistry"),
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

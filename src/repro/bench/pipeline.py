@@ -201,14 +201,22 @@ def run_pipeline(
     methods: tuple[str, ...] = TRANSFER_METHODS,
     service_ms: float = DEFAULT_SERVICE_MS,
     repeats: int = DEFAULT_REPEATS,
+    trace: bool = False,
 ) -> list[PipelinePoint]:
-    """Run the depth sweep on one fabric and return the points."""
+    """Run the depth sweep on one fabric and return the points.
+
+    ``trace=True`` runs the same sweep with ``repro.trace`` recording
+    on (spans + metrics for every invocation), which is how
+    ``tools/bench_pipeline.py --trace-overhead`` prices the
+    instrumentation; the default leaves tracing off, i.e. measures the
+    disabled-by-default fast path.
+    """
     from repro import ORB
 
     idl = _compiled_idl()
     depths = depths or DEFAULT_DEPTHS
     if fabric == "inproc":
-        with ORB("pipeline") as orb:
+        with ORB("pipeline", trace=trace) as orb:
             # The echo servant is stateless, so the ordering contract
             # can be dropped: a single pipelined client's requests
             # overlap on the dispatch pool.
@@ -230,10 +238,16 @@ def run_pipeline(
         with SocketFabric("pipeline-server") as server_fabric, \
                 SocketFabric("pipeline-client") as client_fabric:
             server_orb = ORB(
-                "pipeline-server", fabric=server_fabric, naming=naming
+                "pipeline-server",
+                fabric=server_fabric,
+                naming=naming,
+                trace=trace,
             )
             client_orb = ORB(
-                "pipeline-client", fabric=client_fabric, naming=naming
+                "pipeline-client",
+                fabric=client_fabric,
+                naming=naming,
+                trace=trace,
             )
             with server_orb, client_orb:
                 server_orb.serve(
@@ -267,6 +281,42 @@ def speedups(points: list[PipelinePoint]) -> dict[tuple[str, str], float]:
 def points_as_dicts(points: list[PipelinePoint]) -> list[dict]:
     """The points as JSON-ready dicts."""
     return [asdict(p) for p in points]
+
+
+def throughput_ratio(
+    points: list[PipelinePoint] | list[dict],
+    reference: list[PipelinePoint] | list[dict],
+) -> float:
+    """Geometric-mean throughput ratio of ``points`` over
+    ``reference`` across matching (fabric, method, depth) keys.
+
+    1.0 means identical throughput; 0.98 means ``points`` runs 2%
+    slower overall.  The geometric mean over every matching point is
+    the noise-robust "did the benchmark regress" number the
+    trace-overhead gate checks (see ``tools/bench_pipeline.py``).
+    Accepts live points or the dicts of a saved BENCH_pipeline.json.
+    """
+
+    def as_map(items: list[Any]) -> dict[tuple[str, str, int], float]:
+        out = {}
+        for item in items:
+            record = item if isinstance(item, dict) else asdict(item)
+            key = (record["fabric"], record["method"], record["depth"])
+            out[key] = record["mb_per_s"]
+        return out
+
+    ours, theirs = as_map(points), as_map(reference)
+    common = sorted(set(ours) & set(theirs))
+    if not common:
+        raise ValueError(
+            "no matching (fabric, method, depth) points to compare"
+        )
+    log_sum = 0.0
+    import math
+
+    for key in common:
+        log_sum += math.log(ours[key] / theirs[key])
+    return math.exp(log_sum / len(common))
 
 
 def format_pipeline(points: list[PipelinePoint]) -> str:

@@ -9,6 +9,7 @@ runtimes (client side).
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -27,6 +28,7 @@ from repro.orb.transfer import Tracer
 from repro.orb.transport import Fabric
 from repro.rts.executor import SpmdExecutor
 from repro.rts.mpi import Intracomm
+from repro.trace import TraceRecorder
 
 
 @dataclass
@@ -55,6 +57,7 @@ class ORB:
         fabric: Any = None,
         naming: Any = None,
         ft_policy: Any = None,
+        trace: Any = None,
     ) -> None:
         """``fabric``/``naming`` default to the in-process transport
         and registry; pass a :class:`~repro.orb.socketnet.SocketFabric`
@@ -62,13 +65,28 @@ class ORB:
         multi-process deployment over TCP.  ``ft_policy`` is the
         ORB-wide default :class:`~repro.ft.policy.FtPolicy` applied by
         every client runtime this ORB mints (per-runtime and per-proxy
-        policies override it)."""
+        policies override it).  ``trace`` turns on collective-aware
+        tracing (:mod:`repro.trace`): pass ``True`` for a fresh
+        :class:`~repro.trace.TraceRecorder` (exposed as
+        :attr:`trace`), or an existing recorder to share one across
+        ORBs; ``None`` (the default) keeps tracing off with no
+        per-invocation cost."""
         self.name = name
         self.fabric = fabric if fabric is not None else Fabric(name)
         self.naming = naming if naming is not None else NamingService()
         self.tracer = tracer
         self.timeout = timeout
         self.ft_policy = ft_policy
+        #: The repro.trace recorder shared by every runtime and servant
+        #: group this ORB creates (None = tracing off).
+        # Identity tests, not truthiness: an *empty* recorder is falsy
+        # (``__len__``) but still means tracing is on.
+        if trace is True:
+            self.trace: TraceRecorder | None = TraceRecorder()
+        elif trace is False or trace is None:
+            self.trace = None
+        else:
+            self.trace = trace
         self._adapter = ObjectAdapter(self.fabric, self.naming)
         self._runtimes: list[ClientRuntime] = []
         self._lock = threading.Lock()
@@ -76,6 +94,17 @@ class ORB:
         #: Lifetime wire-path copy tally behind :meth:`stats`.
         self._copy_account = CopyAccount()
         register_account(self._copy_account)
+        self._fabric_meter: Any = None
+        if self.trace is not None:
+            # Fold the ORB's own snapshot into the registry so
+            # ``orb.trace.metrics.snapshot()`` is the one-stop view;
+            # ``stats()`` asks for counters/histograms only
+            # (include_sources=False), so the two never recurse.
+            self.trace.metrics.register_source(f"orb.{name}", self.stats)
+            add_meter = getattr(self.fabric, "add_meter", None)
+            if callable(add_meter):
+                self._fabric_meter = self.trace.fabric_meter()
+                add_meter(self._fabric_meter)
 
     # -- server side ---------------------------------------------------------
 
@@ -131,6 +160,7 @@ class ORB:
             multiport=multiport,
             templates=templates,
             tracer=self.tracer,
+            trace=self.trace,
             rts_style=rts_style,
             dispatch_workers=dispatch_workers,
             dispatch_policy=dispatch_policy,
@@ -170,6 +200,7 @@ class ORB:
             self.naming,
             comm,
             tracer=self.tracer,
+            trace=self.trace,
             timeout=self.timeout,
             label=label,
             rts_style=rts_style,
@@ -226,8 +257,16 @@ class ORB:
         ``faults`` tally), ``transfer_schedule_cache`` (LRU hit/miss
         for §3.3 chunk schedules), ``cdr_copies`` (lifetime wire-path
         copy accounting), ``ft`` (client fault-tolerance counters
-        summed over this ORB's runtimes), and ``reply_caches``
-        (server-side dedup counters per activated group).
+        summed over this ORB's runtimes), ``reply_caches``
+        (server-side dedup counters per activated group), and — when
+        tracing is on — ``trace`` (recorder occupancy plus the
+        counters/histograms of the :mod:`repro.trace` metrics
+        registry).  See ``docs/observability.md`` for the full schema.
+
+        The returned dict is a deep copy taken at the snapshot
+        boundary: callers may mutate it (or hold it across later ORB
+        activity) without perturbing live state, and live state never
+        mutates an already-returned snapshot.
         """
         fabric: dict[str, Any] = {}
         dropped = getattr(self.fabric, "dropped_frames", None)
@@ -251,13 +290,24 @@ class ORB:
             if getattr(group, "reply_cache", None) is not None
         }
         copied_bytes, copy_events = self._copy_account.snapshot()
-        return {
+        snapshot: dict[str, Any] = {
             "fabric": fabric,
             "transfer_schedule_cache": schedule_cache_stats(),
             "cdr_copies": {"bytes": copied_bytes, "events": copy_events},
             "ft": ft,
             "reply_caches": reply_caches,
         }
+        if self.trace is not None:
+            snapshot["trace"] = {
+                "recorder": self.trace.stats(),
+                # Counters/histograms only: the registry's *sources*
+                # include this very method (registered in __init__),
+                # so folding them here would recurse.
+                "metrics": self.trace.metrics.snapshot(
+                    include_sources=False
+                ),
+            }
+        return copy.deepcopy(snapshot)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -267,6 +317,13 @@ class ORB:
             return
         self._shut = True
         unregister_account(self._copy_account)
+        if self.trace is not None:
+            self.trace.metrics.unregister_source(f"orb.{self.name}")
+        if self._fabric_meter is not None:
+            remove_meter = getattr(self.fabric, "remove_meter", None)
+            if callable(remove_meter):
+                remove_meter(self._fabric_meter)
+            self._fabric_meter = None
         self._adapter.shutdown()
         with self._lock:
             runtimes, self._runtimes = self._runtimes, []

@@ -123,6 +123,11 @@ class FtStats:
     Counts are per-rank events: a collective group of N ranks retrying
     one invocation records N retries (one per rank), mirroring how the
     work is actually repeated.
+
+    ``on_bump``, when given, observes every bump as ``on_bump(field,
+    by)`` — outside the lock — so the counters can be mirrored into an
+    external sink (the ``repro.trace`` metrics registry uses this to
+    expose ``ft.*`` counters).
     """
 
     _FIELDS = (
@@ -133,13 +138,16 @@ class FtStats:
         "agreements",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, on_bump: Any = None) -> None:
         self._lock = threading.Lock()
         self._counts = dict.fromkeys(self._FIELDS, 0)
+        self._on_bump = on_bump
 
     def bump(self, field_name: str, by: int = 1) -> None:
         with self._lock:
             self._counts[field_name] += by
+        if self._on_bump is not None:
+            self._on_bump(field_name, by)
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:

@@ -71,6 +71,7 @@ from repro.orb.transport import (
 from repro.rts.executor import SpmdExecutor, SpmdHandle
 from repro.rts.interface import MessagePassingRTS
 from repro.rts.mpi import DeadlockError, GroupAbortedError, Intracomm
+from repro.trace.span import span_or_null
 
 #: Control payloads on the request port.
 CONTROL_SHUTDOWN = b"shutdown"
@@ -108,6 +109,10 @@ class ServantContext:
     fabric: Fabric
     templates: dict[tuple[str, str], tuple]
     tracer: Tracer | None = None
+    #: ``repro.trace`` recorder (None = tracing off): the engine opens
+    #: rank-tagged server-side spans under the request header's trace
+    #: id, correlating them with the client's spans.
+    trace: Any = None
     timeout: float = 60.0
     #: Set by the servant group: collective drain of queued requests
     #: (the §2.1 "interrupt its computation to process outstanding
@@ -412,6 +417,14 @@ class _ServerEngine:
         self, request: RequestMessage, spec: OperationSpec
     ) -> None:
         ctx = self.ctx
+        span_kw = dict(
+            trace_id=request.trace_id, side="server", rank=ctx.rank
+        )
+        xfer_span = span_or_null(
+            ctx.trace, "transfer", op=spec.name,
+            engine=wire.MODE_CENTRALIZED, request_id=request.request_id,
+            **span_kw,
+        )
         slots = request_slots(spec)
         if ctx.rank == 0:
             values = decode_full_body(slots, request.body)
@@ -472,6 +485,10 @@ class _ServerEngine:
                 )
             )
 
+        xfer_span.end()
+        disp_span = span_or_null(
+            ctx.trace, "dispatch", op=spec.name, **span_kw
+        )
         outcome = _agree_outcome(
             ctx, _call_servant(self.servant, spec, args)
         )
@@ -481,8 +498,11 @@ class _ServerEngine:
             if ctx.tracer:
                 ctx.tracer.emit("sync", "server", "post-invoke")
             ctx.rts.synchronize()
+        disp_span.note(outcome=outcome[0]).end()
+        reply_span = span_or_null(ctx.trace, "reply", **span_kw)
         if outcome[0] != "ok":
             self._reply(request, _error_reply(request, outcome))
+            reply_span.note(status=outcome[0]).end()
             return
 
         produced = outcome[1]
@@ -540,6 +560,8 @@ class _ServerEngine:
                 request,
                 ReplyMessage(request.request_id, wire.STATUS_OK, body),
             )
+            reply_span.note(nbytes=len(body))
+        reply_span.end()
 
     # -- multi-port (§3.3) ---------------------------------------------------
 
@@ -547,6 +569,14 @@ class _ServerEngine:
         self, request: RequestMessage, spec: OperationSpec
     ) -> None:
         ctx = self.ctx
+        span_kw = dict(
+            trace_id=request.trace_id, side="server", rank=ctx.rank
+        )
+        xfer_span = span_or_null(
+            ctx.trace, "transfer", op=spec.name,
+            engine=wire.MODE_MULTIPORT, request_id=request.request_id,
+            **span_kw,
+        )
         slots = request_slots(spec)
         if ctx.rank == 0:
             plain = decode_plain_body(slots, request.body)
@@ -631,12 +661,18 @@ class _ServerEngine:
             if delivery[0] != "ok":
                 if ctx.rts is not None:
                     ctx.rts.synchronize()
+                xfer_span.note(outcome=delivery[0]).end()
                 self._reply(request, _error_reply(request, delivery))
                 return
         elif failure is not None:
+            xfer_span.note(outcome=failure[0]).end()
             self._reply(request, _error_reply(request, failure))
             return
+        xfer_span.end()
 
+        disp_span = span_or_null(
+            ctx.trace, "dispatch", op=spec.name, **span_kw
+        )
         outcome = _agree_outcome(
             ctx, _call_servant(self.servant, spec, args)
         )
@@ -644,8 +680,11 @@ class _ServerEngine:
             if ctx.tracer:
                 ctx.tracer.emit("sync", "server", "post-invoke")
             ctx.rts.synchronize()
+        disp_span.note(outcome=outcome[0]).end()
+        reply_span = span_or_null(ctx.trace, "reply", **span_kw)
         if outcome[0] != "ok":
             self._reply(request, _error_reply(request, outcome))
+            reply_span.note(status=outcome[0]).end()
             return
 
         produced = outcome[1]
@@ -742,6 +781,7 @@ class _ServerEngine:
             # re-delivered chunks for its id (a retry is answered from
             # the cache, never re-collected).
             ctx.collector.discard(request.request_id)
+        reply_span.end()
 
 
 # ---------------------------------------------------------------------------
@@ -1009,6 +1049,7 @@ class ObjectAdapter:
         dispatch_policy: str = "client-fifo",
         reply_cache_bytes: int = 0,
         request_timeout: float = 60.0,
+        trace: Any = None,
     ) -> "ServantGroup":
         group = ServantGroup(
             self.fabric,
@@ -1020,6 +1061,7 @@ class ObjectAdapter:
             multiport=multiport,
             templates=templates,
             tracer=tracer,
+            trace=trace,
             rts_style=rts_style,
             dispatch_workers=dispatch_workers,
             dispatch_policy=dispatch_policy,
@@ -1056,6 +1098,7 @@ class ServantGroup:
         dispatch_policy: str = "client-fifo",
         reply_cache_bytes: int = 0,
         request_timeout: float = 60.0,
+        trace: Any = None,
     ) -> None:
         if nthreads <= 0:
             raise ValueError("an SPMD object needs at least one thread")
@@ -1084,6 +1127,7 @@ class ServantGroup:
         self.nthreads = nthreads
         self.multiport = multiport
         self.tracer = tracer
+        self.trace = trace
         from repro.idl.runtime import template_to_spec
 
         self._servant_factory = servant_factory
@@ -1181,6 +1225,7 @@ class ServantGroup:
             fabric=self.fabric,
             templates=self._templates,
             tracer=self.tracer,
+            trace=self.trace,
             timeout=self.request_timeout,
         )
         servant = self._servant_factory(ctx)

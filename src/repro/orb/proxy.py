@@ -45,6 +45,7 @@ from repro.orb.transfer import (
 )
 from repro.orb.transport import Fabric
 from repro.rts.futures import Future
+from repro.trace.span import span_or_null
 from repro.rts.interface import MessagePassingRTS, RuntimeSystem
 from repro.rts.mpi import Intracomm
 from repro.rts.onesided import OneSidedRTS
@@ -117,6 +118,7 @@ class ClientRuntime:
         rts_style: str = "message-passing",
         pipeline_depth: int = 8,
         ft_policy: Any = None,
+        trace: Any = None,
     ) -> None:
         if pipeline_depth <= 0:
             raise ValueError("pipeline_depth must be positive")
@@ -124,11 +126,19 @@ class ClientRuntime:
         self.naming = naming
         self.app_comm = comm
         self.tracer = tracer
+        #: ``repro.trace`` recorder shared across the ORB's runtimes
+        #: (None = tracing off; the engines guard every span site on
+        #: this being set, keeping the disabled path free).
+        self.trace = trace
         self.timeout = timeout
         self.pipeline_depth = pipeline_depth
         #: Runtime-wide fault-tolerance policy (a proxy may override).
         self.ft_policy = ft_policy
-        self.ft_stats = FtStats()
+        # With tracing on, ft counter bumps mirror into the metrics
+        # registry (counters ``ft.retries``, ``ft.degraded``, ...).
+        self.ft_stats = FtStats(
+            on_bump=trace.ft_observer() if trace is not None else None
+        )
         # The collective-sequence counter: one draw per collective
         # invocation, in launch (= program) order, so an invocation's
         # index is identical on every rank — it names the collective
@@ -196,6 +206,7 @@ class ClientRuntime:
         view.naming = self.naming
         view.app_comm = None
         view.tracer = self.tracer
+        view.trace = self.trace
         view.timeout = self.timeout
         view.pipeline_depth = self.pipeline_depth
         view.rank = 0
@@ -225,6 +236,9 @@ class ClientRuntime:
             self._worker = _InvocationWorker(
                 f"pardis-worker-{self.rank}",
                 depth=self.pipeline_depth,
+                metrics=(
+                    self.trace.metrics if self.trace is not None else None
+                ),
             )
         return self._worker
 
@@ -271,10 +285,14 @@ class _InvocationWorker:
     cross-match.
     """
 
-    def __init__(self, name: str, depth: int = 8) -> None:
+    def __init__(self, name: str, depth: int = 8, metrics: Any = None) -> None:
         if depth <= 0:
             raise ValueError("pipeline depth must be positive")
         self.depth = depth
+        #: ``repro.trace`` metrics registry (None = tracing off):
+        #: counts submissions/completions and hands futures their
+        #: wait-time histogram.
+        self._metrics = metrics
         self._queue: queue.Queue = queue.Queue()
         self._stopped = False
         #: Launched-but-uncompleted requests: (complete, future).
@@ -295,6 +313,11 @@ class _InvocationWorker:
             future.set_result(complete())
         except BaseException as exc:  # noqa: BLE001 - to the future
             future.set_exception(exc)
+            if self._metrics is not None:
+                self._metrics.counter("invocations.failed").inc()
+        else:
+            if self._metrics is not None:
+                self._metrics.counter("invocations.completed").inc()
 
     def _drain_through(self, target: Future) -> None:
         """Complete pending requests up to and including ``target``.
@@ -346,6 +369,9 @@ class _InvocationWorker:
             )
         future = Future(label)
         future._pre_wait = self._request_flush
+        if self._metrics is not None:
+            self._metrics.counter("invocations.submitted").inc()
+            future._trace_metrics = self._metrics
         self._queue.put(("invoke", fn, future))
         return future
 
@@ -414,15 +440,19 @@ class ClientProxy:
         thread interacts with the object on its own, so distributed
         sequence arguments must be serial (``comm=None``).
         """
-        ref = runtime.naming.resolve(obj_name, host_name)
-        cls._check_interface(ref)
-        return cls(
-            runtime.serial_view(),
-            ref,
-            BindMode.SERIAL,
-            cls._default_transfer(ref, transfer),
-            ft_policy=ft_policy,
-        )
+        with span_or_null(
+            getattr(runtime, "trace", None), "bind", side="client",
+            rank=runtime.rank, object=obj_name, mode=BindMode.SERIAL.value,
+        ):
+            ref = runtime.naming.resolve(obj_name, host_name)
+            cls._check_interface(ref)
+            return cls(
+                runtime.serial_view(),
+                ref,
+                BindMode.SERIAL,
+                cls._default_transfer(ref, transfer),
+                ft_policy=ft_policy,
+            )
 
     @classmethod
     def _spmd_bind(
@@ -447,20 +477,24 @@ class ClientProxy:
                 obj_name, runtime, host_name, transfer=transfer,
                 ft_policy=ft_policy,
             )
-        if runtime.rank == 0:
-            ior = runtime.naming.resolve(obj_name, host_name).ior()
-        else:
-            ior = None
-        ior = runtime.orb_comm.bcast(ior, root=0)
-        ref = ObjectReference.from_ior(ior)
-        cls._check_interface(ref)
-        return cls(
-            runtime,
-            ref,
-            BindMode.SPMD,
-            cls._default_transfer(ref, transfer),
-            ft_policy=ft_policy,
-        )
+        with span_or_null(
+            getattr(runtime, "trace", None), "bind", side="client",
+            rank=runtime.rank, object=obj_name, mode=BindMode.SPMD.value,
+        ):
+            if runtime.rank == 0:
+                ior = runtime.naming.resolve(obj_name, host_name).ior()
+            else:
+                ior = None
+            ior = runtime.orb_comm.bcast(ior, root=0)
+            ref = ObjectReference.from_ior(ior)
+            cls._check_interface(ref)
+            return cls(
+                runtime,
+                ref,
+                BindMode.SPMD,
+                cls._default_transfer(ref, transfer),
+                ft_policy=ft_policy,
+            )
 
     @classmethod
     def _default_transfer(

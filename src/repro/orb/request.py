@@ -83,6 +83,12 @@ class RequestMessage:
     request_id: int
     object_key: str
     operation: str
+    #: Trace correlation id (``repro.trace``): equal to the *first*
+    #: attempt's request id and preserved across retries and
+    #: multiport→centralized degradation, so client- and server-side
+    #: spans of every attempt of a collective invocation correlate.
+    #: Zero when tracing is off.
+    trace_id: int = 0
     mode: str = MODE_CENTRALIZED
     oneway: bool = False
     reply_port: PortAddress | None = None
@@ -104,6 +110,7 @@ class RequestMessage:
         """The wire form as a buffer list (no payload flatten)."""
         enc = CdrEncoder()
         enc.write(_TC_ULONGLONG, self.request_id)
+        enc.write(_TC_ULONGLONG, self.trace_id)
         enc.write_string(self.object_key)
         enc.write_string(self.operation)
         enc.write_string(self.mode)
@@ -156,6 +163,7 @@ def decode_request(data: bytes) -> RequestMessage:
     """Parse a request message off the wire."""
     dec = CdrDecoder(data)
     request_id = int(dec.read(_TC_ULONGLONG))
+    trace_id = int(dec.read(_TC_ULONGLONG))
     object_key = dec.read_string()
     operation = dec.read_string()
     mode = dec.read_string()
@@ -192,6 +200,7 @@ def decode_request(data: bytes) -> RequestMessage:
     body = dec.read_octets(body_len)
     return RequestMessage(
         request_id=request_id,
+        trace_id=trace_id,
         object_key=object_key,
         operation=operation,
         mode=mode,

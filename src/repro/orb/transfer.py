@@ -85,6 +85,7 @@ from repro.orb.transport import (
     TransportError,
     TransportTimeout,
 )
+from repro.trace.span import span_or_null
 
 _NATIVE_LITTLE = sys.byteorder == "little"
 
@@ -730,11 +731,22 @@ class _FtInvocation:
         spec: OperationSpec,
         policy: Any,
         request_id: int,
+        trace_id: int | None = None,
     ) -> None:
         self.runtime = runtime
         self.spec = spec
         self.policy = policy
         self.request_id = request_id
+        #: Trace correlation (``repro.trace``): the recorder, or None
+        #: when tracing is off.  The trace id defaults to the *first*
+        #: attempt's request id — rank-identical by construction,
+        #: since all ranks share one request-id sequence — and is
+        #: passed through explicitly when degradation re-issues the
+        #: invocation under a fresh request id.
+        self.trace = getattr(runtime, "trace", None)
+        if trace_id is None:
+            trace_id = request_id if self.trace is not None else 0
+        self.trace_id = trace_id
         self.start = time.monotonic()
         #: Retries performed so far (0 = still on the first attempt).
         self.attempts = 0
@@ -959,6 +971,7 @@ class TransferEngine:
         out_templates: dict[str, tuple] | None = None,
         ft_policy: Any = None,
         on_degrade: Any = None,
+        trace_id: int | None = None,
     ) -> Any:
         """One complete invocation: send, then wait for the reply."""
         kind, payload = self.invoke_begin(
@@ -969,6 +982,7 @@ class TransferEngine:
             out_templates,
             ft_policy=ft_policy,
             on_degrade=on_degrade,
+            trace_id=trace_id,
         )
         if kind == "done":
             return payload
@@ -983,6 +997,7 @@ class TransferEngine:
         out_templates: dict[str, tuple] | None = None,
         ft_policy: Any = None,
         on_degrade: Any = None,
+        trace_id: int | None = None,
     ) -> tuple[str, Any]:
         """Put the request on the wire; defer the reply.
 
@@ -1017,6 +1032,7 @@ class CentralizedTransfer(TransferEngine):
         out_templates: dict[str, tuple] | None = None,
         ft_policy: Any = None,
         on_degrade: Any = None,
+        trace_id: int | None = None,
     ) -> tuple[str, Any]:
         tracer = runtime.tracer
         req_slots = request_slots(spec)
@@ -1036,7 +1052,14 @@ class CentralizedTransfer(TransferEngine):
             rts.synchronize()
         request_id = runtime.next_request_id()
         ctl = _FtInvocation(
-            runtime, spec, effective_policy(ft_policy, runtime), request_id
+            runtime, spec, effective_policy(ft_policy, runtime), request_id,
+            trace_id=trace_id,
+        )
+        trace, trace_id = ctl.trace, ctl.trace_id
+        inv_span = span_or_null(
+            trace, "invoke", trace_id=trace_id, side="client",
+            rank=runtime.rank, op=spec.name, engine=self.mode,
+            request_id=request_id,
         )
 
         def send_phase() -> Failure | None:
@@ -1047,6 +1070,10 @@ class CentralizedTransfer(TransferEngine):
             surfaces at the agreement vote in ``complete`` so all
             ranks handle it at the same collective point.
             """
+            enc_span = span_or_null(
+                trace, "encode", trace_id=trace_id, side="client",
+                rank=runtime.rank, op=spec.name,
+            )
             # Gather distributed arguments onto the communicating
             # thread.
             gathered: dict[str, np.ndarray | None] = {}
@@ -1081,6 +1108,7 @@ class CentralizedTransfer(TransferEngine):
                 )
 
             if runtime.rank != 0:
+                enc_span.end()
                 return None
             values = {
                 s.name: (
@@ -1090,8 +1118,10 @@ class CentralizedTransfer(TransferEngine):
                 for s in req_slots
             }
             body = full_body_encoder(req_slots, values)
+            enc_span.note(nbytes=len(body)).end()
             message = RequestMessage(
                 request_id=request_id,
+                trace_id=trace_id,
                 object_key=ref.object_key,
                 operation=spec.name,
                 mode=self.mode,
@@ -1104,6 +1134,10 @@ class CentralizedTransfer(TransferEngine):
             )
             if tracer:
                 tracer.emit("net-request", self.mode, spec.name, len(body))
+            xfer_span = span_or_null(
+                trace, "transfer", trace_id=trace_id, side="client",
+                rank=runtime.rank, nbytes=len(body),
+            )
             try:
                 runtime.reply_port.send(
                     ref.request_port,
@@ -1111,29 +1145,35 @@ class CentralizedTransfer(TransferEngine):
                     KIND_REQUEST,
                 )
             except TransportError as exc:
+                xfer_span.note(error=str(exc)).end()
                 if spec.oneway:
                     raise
                 return Failure(
                     "transport", "COMM_FAILURE", str(exc),
                     rank=runtime.rank,
                 )
+            xfer_span.end()
             return None
 
         first_failure = send_phase()
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
+            inv_span.end()
             return ("done", None)
 
         def complete() -> Any:
             try:
-                return self._complete_ft(
+                result = self._complete_ft(
                     runtime, spec, request_id, args_by_name, tracer,
                     out_templates or {}, ctl, first_failure, send_phase,
                 )
-            except BaseException:
+            except BaseException as exc:
                 runtime.demux.discard(request_id)
+                inv_span.note(error=repr(exc)).end()
                 raise
+            inv_span.note(attempts=ctl.attempts).end()
+            return result
 
         return ("pending", complete)
 
@@ -1157,6 +1197,10 @@ class CentralizedTransfer(TransferEngine):
             pending = None
             reply = None
             header = None
+            reply_span = span_or_null(
+                ctl.trace, "reply", trace_id=ctl.trace_id, side="client",
+                rank=runtime.rank, attempt=ctl.attempts,
+            )
             if local is None and runtime.rank == 0:
                 try:
                     reply = runtime.demux.wait(
@@ -1197,10 +1241,17 @@ class CentralizedTransfer(TransferEngine):
                 # Retire the id: a duplicated late reply frame must
                 # not pile up in the demux forever.
                 runtime.demux.discard(request_id)
+                reply_span.end()
                 return result
+            reply_span.note(failure=failure.kind).end()
             if ctl.next_action(failure) == "retry":
-                ctl.before_retry()
-                pending = send_phase()
+                with span_or_null(
+                    ctl.trace, "retry", trace_id=ctl.trace_id,
+                    side="client", rank=runtime.rank,
+                    attempt=ctl.attempts + 1, failure=failure.kind,
+                ):
+                    ctl.before_retry()
+                    pending = send_phase()
                 continue
             ctl.raise_failure(failure)
 
@@ -1299,6 +1350,7 @@ class MultiPortTransfer(TransferEngine):
         out_templates: dict[str, tuple] | None = None,
         ft_policy: Any = None,
         on_degrade: Any = None,
+        trace_id: int | None = None,
     ) -> tuple[str, Any]:
         if not ref.multiport_capable:
             raise RemoteError(
@@ -1321,7 +1373,14 @@ class MultiPortTransfer(TransferEngine):
             rts.synchronize()
         request_id = runtime.next_request_id()
         ctl = _FtInvocation(
-            runtime, spec, effective_policy(ft_policy, runtime), request_id
+            runtime, spec, effective_policy(ft_policy, runtime), request_id,
+            trace_id=trace_id,
+        )
+        trace, trace_id = ctl.trace, ctl.trace_id
+        inv_span = span_or_null(
+            trace, "invoke", trace_id=trace_id, side="client",
+            rank=runtime.rank, op=spec.name, engine=self.mode,
+            request_id=request_id,
         )
 
         # Validate distributed arguments and record their layouts in
@@ -1347,10 +1406,16 @@ class MultiPortTransfer(TransferEngine):
             """
             # The invocation header is delivered using the centralized
             # method (§3.3): the communicating thread sends it.
+            message = None
             if runtime.rank == 0:
+                enc_span = span_or_null(
+                    trace, "encode", trace_id=trace_id, side="client",
+                    rank=runtime.rank, op=spec.name,
+                )
                 body = plain_body_encoder(req_slots, args_by_name)
                 message = RequestMessage(
                     request_id=request_id,
+                    trace_id=trace_id,
                     object_key=ref.object_key,
                     operation=spec.name,
                     mode=self.mode,
@@ -1368,9 +1433,16 @@ class MultiPortTransfer(TransferEngine):
                     ),
                     body=body,
                 )
+                enc_span.note(nbytes=len(body)).end()
+            xfer_span = span_or_null(
+                trace, "transfer", trace_id=trace_id, side="client",
+                rank=runtime.rank,
+            )
+            if runtime.rank == 0:
                 if tracer:
                     tracer.emit(
-                        "net-request", self.mode, spec.name, len(body)
+                        "net-request", self.mode, spec.name,
+                        len(message.body),
                     )
                 try:
                     runtime.reply_port.send(
@@ -1379,6 +1451,7 @@ class MultiPortTransfer(TransferEngine):
                         KIND_REQUEST,
                     )
                 except TransportError as exc:
+                    xfer_span.note(error=str(exc)).end()
                     if spec.oneway:
                         raise
                     return Failure(
@@ -1410,33 +1483,39 @@ class MultiPortTransfer(TransferEngine):
                         tracer,
                     )
             except TransportError as exc:
+                xfer_span.note(error=str(exc)).end()
                 if spec.oneway:
                     raise
                 return Failure(
                     "unreachable", "COMM_FAILURE", str(exc),
                     rank=runtime.rank,
                 )
+            xfer_span.end()
             return None
 
         first_failure = send_phase()
         if spec.oneway:
             if rts is not None:
                 rts.synchronize()
+            inv_span.end()
             return ("done", None)
 
         def complete() -> Any:
             try:
-                return self._complete_ft(
+                result = self._complete_ft(
                     runtime, ref, spec, args, request_id, args_by_name,
                     tracer, out_templates or {}, ctl, first_failure,
                     send_phase, on_degrade,
                 )
-            except BaseException:
+            except BaseException as exc:
                 # Abandoned request: evict its chunks and drop any
                 # late reply so nothing accumulates.
                 runtime.demux.discard(request_id)
                 runtime.collector.discard(request_id)
+                inv_span.note(error=repr(exc)).end()
                 raise
+            inv_span.note(attempts=ctl.attempts).end()
+            return result
 
         return ("pending", complete)
 
@@ -1471,6 +1550,10 @@ class MultiPortTransfer(TransferEngine):
             pending = None
             reply = None
             header_payload = None
+            reply_span = span_or_null(
+                ctl.trace, "reply", trace_id=ctl.trace_id, side="client",
+                rank=runtime.rank, attempt=ctl.attempts,
+            )
             if local is None and runtime.rank == 0:
                 try:
                     reply = runtime.demux.wait(
@@ -1593,13 +1676,20 @@ class MultiPortTransfer(TransferEngine):
                     # dropped on arrival from now on.
                     runtime.demux.discard(request_id)
                     runtime.collector.discard(request_id)
+                    reply_span.end()
                     return compose(
                         [values[s.name] for s in produced_slots(spec)]
                     )
+            reply_span.note(failure=failure.kind).end()
             action = ctl.next_action(failure)
             if action == "retry":
-                ctl.before_retry()
-                pending = send_phase()
+                with span_or_null(
+                    ctl.trace, "retry", trace_id=ctl.trace_id,
+                    side="client", rank=runtime.rank,
+                    attempt=ctl.attempts + 1, failure=failure.kind,
+                ):
+                    ctl.before_retry()
+                    pending = send_phase()
                 continue
             if action == "degrade":
                 # The data path to some server thread is gone but the
@@ -1607,16 +1697,25 @@ class MultiPortTransfer(TransferEngine):
                 # centralized method.  The failed attempt's data never
                 # reached the owning thread, so the server cannot have
                 # executed it — a fresh-id centralized invocation is
-                # exactly-once safe.
+                # exactly-once safe.  The original trace id rides into
+                # the fallback, so the degraded attempt's spans stay in
+                # the same logical trace.
                 ctl.note_degraded()
                 runtime.demux.discard(request_id)
                 runtime.collector.discard(request_id)
                 if on_degrade is not None:
                     on_degrade()
-                return CentralizedTransfer().invoke(
-                    runtime, ref, spec, args, out_templates,
-                    ft_policy=ctl.policy,
-                )
+                with span_or_null(
+                    ctl.trace, "degrade", trace_id=ctl.trace_id,
+                    side="client", rank=runtime.rank,
+                    from_engine=wire.MODE_MULTIPORT,
+                    to_engine=wire.MODE_CENTRALIZED,
+                ):
+                    return CentralizedTransfer().invoke(
+                        runtime, ref, spec, args, out_templates,
+                        ft_policy=ctl.policy,
+                        trace_id=ctl.trace_id,
+                    )
             ctl.raise_failure(failure)
 
 class ClientRuntimeLike:
@@ -1636,6 +1735,8 @@ class ClientRuntimeLike:
     collector: ChunkCollector
     demux: ReplyDemux
     tracer: Tracer | None
+    #: ``repro.trace`` recorder (None = tracing off, the default).
+    trace: Any = None
     timeout: float
     #: Optional fault-tolerance surface (engines fall back gracefully
     #: when a runtime stub lacks these): the ORB-wide FtPolicy, the

@@ -188,7 +188,11 @@ class Port:
         return self._closed
 
 
-#: Observer signature: (src, dest, kind, nbytes).
+#: Observer signature: (src, dest, kind, nbytes).  Meters see every
+#: frame crossing the fabric; :meth:`repro.trace.TraceRecorder.fabric_meter`
+#: returns one that tallies per-kind ``fabric.frames.*`` /
+#: ``fabric.bytes.*`` counters into its metrics registry (an ORB
+#: constructed with tracing on attaches it automatically).
 Meter = Callable[[PortAddress, PortAddress, str, int], None]
 
 

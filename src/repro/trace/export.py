@@ -1,0 +1,138 @@
+"""Chrome-trace/Perfetto JSON export (and re-import) of spans.
+
+The emitted document follows the Trace Event Format: one ``"X"``
+(complete) event per span with microsecond ``ts``/``dur``, plus
+``"M"`` metadata events naming processes and threads.  Sides map to
+processes (client=pid 1, server=pid 2) and SPMD ranks to threads, so
+a collective invocation renders as one trace with a lane per rank on
+each side — load ``trace.json`` in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+``read_chrome_trace`` inverts the export losslessly for the span
+fields we emit, which the tests use to assert exporter round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.trace.span import Span, TraceRecorder
+
+#: Side → synthetic pid in the exported document.
+SIDE_PIDS: dict[str, int] = {"client": 1, "server": 2}
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list: metadata events first, then one
+    ``"X"`` event per span."""
+    spans = list(spans)
+    events: list[dict[str, Any]] = []
+    lanes = {(s.side, s.rank) for s in spans}
+    for side, pid in sorted(SIDE_PIDS.items(), key=lambda kv: kv[1]):
+        if any(lane_side == side for lane_side, _ in lanes):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": side},
+                }
+            )
+    for side, rank in sorted(lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SIDE_PIDS[side],
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.side,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.dur_us,
+                "pid": SIDE_PIDS.get(span.side, 0),
+                "tid": span.rank,
+                "args": {
+                    "trace_id": f"0x{span.trace_id:016x}",
+                    **span.attrs,
+                },
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    spans: Iterable[Span] | TraceRecorder,
+    *,
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The full JSON-object-format document.  Accepts a recorder
+    directly (all its spans are exported); a metrics snapshot, if
+    given, rides along under ``otherData``."""
+    if isinstance(spans, TraceRecorder):
+        recorder = spans
+        if metrics is None:
+            metrics = recorder.metrics.snapshot(include_sources=False)
+        spans = recorder.spans()
+    doc: dict[str, Any] = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        doc["otherData"] = {"metrics": dict(metrics)}
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span] | TraceRecorder,
+    *,
+    metrics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Export to ``path``; returns the document written."""
+    doc = to_chrome_trace(spans, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def spans_from_chrome_trace(doc: Mapping[str, Any]) -> list[Span]:
+    """Reconstruct :class:`Span` records from an exported document
+    (or a bare ``traceEvents`` list wrapped in a dict)."""
+    events = doc.get("traceEvents", [])
+    pid_side = {pid: side for side, pid in SIDE_PIDS.items()}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            pid_side[event["pid"]] = event["args"]["name"]
+    spans: list[Span] = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        trace_id = int(args.pop("trace_id", "0x0"), 16)
+        spans.append(
+            Span(
+                name=event["name"],
+                trace_id=trace_id,
+                side=pid_side.get(event.get("pid"), event.get("cat", "")),
+                rank=int(event.get("tid", 0)),
+                start_us=float(event.get("ts", 0.0)),
+                dur_us=float(event.get("dur", 0.0)),
+                attrs=args,
+            )
+        )
+    return spans
+
+
+def read_chrome_trace(path: str) -> list[Span]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return spans_from_chrome_trace(doc)

@@ -1,0 +1,110 @@
+"""Text timelines for traces — the ``tools/trace_view.py`` backend.
+
+``format_timeline`` renders one logical trace (client + server, all
+ranks) as aligned ASCII bars on a shared time axis; ``summarize``
+aggregates per-stage totals.  Both accept any span iterable, so they
+work on a live recorder or on a re-imported Chrome-trace file.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.trace.span import Span
+
+#: Render order of lanes: client above server, ranks ascending.
+_SIDE_ORDER = {"client": 0, "server": 1}
+
+
+def _lane_key(span: Span) -> tuple[int, int]:
+    return (_SIDE_ORDER.get(span.side, 2), span.rank)
+
+
+def format_timeline(
+    spans: Iterable[Span],
+    *,
+    width: int = 64,
+    attrs: bool = True,
+) -> str:
+    """An ASCII timeline of the given spans on one shared axis.
+
+    Each span prints as one line: lane label, span name, a bar
+    positioned/scaled to the trace window, duration, and (optionally)
+    attributes.  Spans should share a trace id — filter first with
+    ``recorder.spans(trace_id=...)``.
+    """
+    spans = sorted(spans, key=lambda s: (_lane_key(s), s.start_us))
+    if not spans:
+        return "(no spans)"
+    t0 = min(s.start_us for s in spans)
+    t1 = max(s.end_us for s in spans)
+    window = max(t1 - t0, 1e-9)
+    name_w = max(len(s.name) for s in spans)
+    lines: list[str] = []
+    trace_ids = {s.trace_id for s in spans if s.trace_id}
+    if len(trace_ids) == 1:
+        lines.append(f"trace 0x{next(iter(trace_ids)):016x}")
+    lines.append(
+        f"window {window / 1000.0:.3f} ms"
+        f"  ({len(spans)} spans)"
+    )
+    last_lane: tuple[int, int] | None = None
+    for span in spans:
+        lane = _lane_key(span)
+        if lane != last_lane:
+            lines.append(f"-- {span.side} rank {span.rank} --")
+            last_lane = lane
+        lead = int((span.start_us - t0) / window * width)
+        bar = max(1, int(span.dur_us / window * width))
+        bar = min(bar, width - min(lead, width - 1))
+        line = (
+            f"  {span.name:<{name_w}} "
+            f"|{' ' * min(lead, width - 1)}{'=' * bar}"
+            f"{' ' * (width - min(lead, width - 1) - bar)}| "
+            f"{span.dur_us / 1000.0:9.3f} ms"
+        )
+        if attrs and span.attrs:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            line += f"  {pairs}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def summarize(spans: Iterable[Span]) -> dict[str, Any]:
+    """Per-(side, name) aggregate: count and total/mean duration."""
+    totals: dict[tuple[str, str], list[float]] = defaultdict(list)
+    ranks: set[int] = set()
+    trace_ids: set[int] = set()
+    for span in spans:
+        totals[(span.side, span.name)].append(span.dur_us)
+        ranks.add(span.rank)
+        if span.trace_id:
+            trace_ids.add(span.trace_id)
+    return {
+        "traces": len(trace_ids),
+        "ranks": sorted(ranks),
+        "stages": {
+            f"{side}.{name}": {
+                "count": len(durs),
+                "total_us": sum(durs),
+                "mean_us": sum(durs) / len(durs),
+            }
+            for (side, name), durs in sorted(totals.items())
+        },
+    }
+
+
+def format_summary(spans: Iterable[Span]) -> str:
+    summary = summarize(spans)
+    lines = [
+        f"traces: {summary['traces']}  ranks: {summary['ranks']}",
+        f"{'stage':<24} {'count':>6} {'total ms':>10} {'mean ms':>10}",
+    ]
+    for stage, agg in summary["stages"].items():
+        lines.append(
+            f"{stage:<24} {agg['count']:>6}"
+            f" {agg['total_us'] / 1000.0:>10.3f}"
+            f" {agg['mean_us'] / 1000.0:>10.3f}"
+        )
+    return "\n".join(lines)

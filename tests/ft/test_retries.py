@@ -227,3 +227,37 @@ class TestOrbStats:
         assert "hits" in stats["transfer_schedule_cache"]
         assert stats["cdr_copies"]["bytes"] >= 0
         assert stats["reply_caches"]["flaky"]["admitted"] >= 1
+
+    def test_snapshot_is_deep_copied_at_the_boundary(self, idl):
+        # Regression: stats() must hand back a deep copy.  Poisoning
+        # any nested section of a snapshot must not leak into later
+        # snapshots, and later ORB activity must not mutate a snapshot
+        # already taken.
+        valve = Valve("drop", kinds=("request",), limit=1)
+        with _orb_with_valve(valve) as orb:
+            _serve_counting(orb, idl, [])
+            runtime = orb.client_runtime(label="isolated")
+            try:
+                proxy = idl.flaky._bind(
+                    "flaky", runtime, ft_policy=RETRYING
+                )
+                proxy.ping(1.0)
+                before = orb.stats()
+                for section in before.values():
+                    if isinstance(section, dict):
+                        section.clear()
+                before["fabric"] = None
+                clean = orb.stats()
+                assert clean["fabric"]["faults"]["drop"] == 0
+                assert "hits" in clean["transfer_schedule_cache"]
+                assert clean["ft"] == runtime.ft_stats.snapshot()
+
+                valve.armed = True
+                proxy.ping(2.0)  # injects a drop + a retry
+                after = orb.stats()
+                assert clean["fabric"]["faults"]["drop"] == 0
+                assert clean["ft"]["retries"] == 0
+                assert after["fabric"]["faults"]["drop"] == 1
+                assert after["ft"]["retries"] >= 1
+            finally:
+                runtime.close()

@@ -46,6 +46,17 @@ class TestRequestMessage:
         )
         assert decode_request(msg.encode()) == msg
 
+    def test_trace_id_roundtrips_and_defaults_to_zero(self):
+        # The trace id rides in the request header right after the
+        # request id (see docs/protocol.md); 0 means tracing off.
+        traced = RequestMessage(9, "obj", "op", trace_id=0x1F2E3D4C5B6A7988)
+        decoded = decode_request(traced.encode())
+        assert decoded.trace_id == 0x1F2E3D4C5B6A7988
+        assert decoded == traced
+        assert decode_request(
+            RequestMessage(9, "obj", "op").encode()
+        ).trace_id == 0
+
     def test_oneway_without_reply_port(self):
         msg = RequestMessage(3, "o", "ping", oneway=True, reply_port=None)
         decoded = decode_request(msg.encode())

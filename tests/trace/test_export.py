@@ -1,0 +1,97 @@
+"""Chrome-trace exporter round-trips and the text timeline views."""
+
+import json
+
+from repro.trace import (
+    Span,
+    TraceRecorder,
+    chrome_trace_events,
+    format_timeline,
+    read_chrome_trace,
+    spans_from_chrome_trace,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.view import format_summary
+
+
+def _sample_spans():
+    return [
+        Span("invoke", 0xABC, "client", 0, 10.0, 500.0, {"op": "ping"}),
+        Span("transfer", 0xABC, "client", 1, 20.0, 80.0, {}),
+        Span("dispatch", 0xABC, "server", 0, 120.0, 200.0,
+             {"outcome": "ok"}),
+        Span("reply", 0xABC, "server", 1, 330.0, 40.0, {"nbytes": 12}),
+    ]
+
+
+class TestChromeTraceExport:
+    def test_events_carry_metadata_and_complete_events(self):
+        events = chrome_trace_events(_sample_spans())
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = {(e["name"], e["pid"], e["tid"]) for e in metadata}
+        assert ("process_name", 1, 0) in names
+        assert ("process_name", 2, 0) in names
+        assert ("thread_name", 1, 1) in names
+        assert ("thread_name", 2, 1) in names
+        assert len(complete) == 4
+        invoke = next(e for e in complete if e["name"] == "invoke")
+        assert invoke["pid"] == 1 and invoke["tid"] == 0
+        assert invoke["ts"] == 10.0 and invoke["dur"] == 500.0
+        assert invoke["args"] == {
+            "trace_id": "0x0000000000000abc",
+            "op": "ping",
+        }
+
+    def test_round_trip_is_lossless(self):
+        spans = _sample_spans()
+        doc = to_chrome_trace(spans)
+        assert spans_from_chrome_trace(doc) == spans
+        # And survives actual JSON serialization.
+        assert (
+            spans_from_chrome_trace(json.loads(json.dumps(doc))) == spans
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        doc = write_chrome_trace(path, _sample_spans())
+        assert read_chrome_trace(path) == _sample_spans()
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_recorder_export_includes_metrics(self):
+        trace = TraceRecorder()
+        trace.begin("encode", trace_id=5, side="client").end()
+        doc = to_chrome_trace(trace)
+        assert len(spans_from_chrome_trace(doc)) == 1
+        metrics = doc["otherData"]["metrics"]
+        assert metrics["histograms"]["span.client.encode_us"]["count"] == 1
+
+
+class TestTimelineView:
+    def test_timeline_lists_lanes_in_order(self):
+        text = format_timeline(_sample_spans())
+        lines = text.splitlines()
+        assert lines[0] == "trace 0x0000000000000abc"
+        lanes = [line for line in lines if line.startswith("--")]
+        assert lanes == [
+            "-- client rank 0 --",
+            "-- client rank 1 --",
+            "-- server rank 0 --",
+            "-- server rank 1 --",
+        ]
+        assert any("outcome=ok" in line for line in lines)
+        assert "(no spans)" == format_timeline([])
+
+    def test_timeline_attrs_can_be_suppressed(self):
+        text = format_timeline(_sample_spans(), attrs=False)
+        assert "outcome=ok" not in text
+
+    def test_summarize_aggregates_per_stage(self):
+        summary = summarize(_sample_spans())
+        assert summary["traces"] == 1
+        assert summary["ranks"] == [0, 1]
+        assert summary["stages"]["server.dispatch"]["count"] == 1
+        assert summary["stages"]["client.invoke"]["total_us"] == 500.0
+        assert "server.dispatch" in format_summary(_sample_spans())

@@ -13,9 +13,17 @@ method × pipeline depth) plus ``speedups`` — the deepest-depth
 throughput over the depth-1 (strictly serial) baseline for every
 fabric × method pair.  ``--gate R`` fails (exit 1) when any pair's
 speedup drops to R or below; absolute MB/s numbers are
-machine-dependent and are never gated on.
+machine-dependent and are never gated on, with one exception:
 
-See ``docs/performance.md`` for the methodology.
+``--trace-overhead PCT`` re-runs the identical sweep with
+``repro.trace`` recording enabled and fails when the traced run's
+geometric-mean throughput falls more than PCT percent below the
+untraced run — both halves measured back-to-back on the same machine,
+so the comparison is portable.  ``--check-baseline PATH`` additionally
+compares this (untraced) run against a saved BENCH_pipeline.json with
+the same tolerance — only meaningful on the machine that produced the
+baseline (it is how the disabled-by-default instrumentation fast path
+was shown to cost <2%; see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.bench.pipeline import (  # noqa: E402
     points_as_dicts,
     run_pipeline,
     speedups,
+    throughput_ratio,
 )
 
 
@@ -83,6 +92,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail when any fabric x method speedup (deepest depth vs "
         "depth 1) is <= this ratio",
+    )
+    parser.add_argument(
+        "--trace-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="re-run the sweep with repro.trace recording on and fail "
+        "when it is more than PCT percent slower (geometric mean)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        type=Path,
+        default=None,
+        help="saved BENCH_pipeline.json to compare this run against "
+        "(same-machine use; tolerance from --trace-overhead, "
+        "default 2 percent)",
     )
     parser.add_argument(
         "--out",
@@ -131,6 +156,45 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"  {fabric:<8} {method:<12} {ratio:>6.2f}x  {verdict}"
             )
+
+    tolerance = (
+        args.trace_overhead if args.trace_overhead is not None else 2.0
+    )
+    if args.trace_overhead is not None:
+        traced = []
+        for fabric in fabrics:
+            traced.extend(
+                run_pipeline(
+                    fabric,
+                    depths,
+                    size_bytes=size,
+                    requests=requests,
+                    service_ms=service_ms,
+                    repeats=args.repeats,
+                    trace=True,
+                )
+            )
+        ratio = throughput_ratio(traced, points)
+        cost = (1.0 - ratio) * 100.0
+        verdict = "ok" if cost < tolerance else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"\ntrace overhead (recording on vs off): {cost:+.2f}% "
+            f"(gate <{tolerance:g}%)  {verdict}"
+        )
+
+    if args.check_baseline is not None:
+        baseline = json.loads(args.check_baseline.read_text())
+        ratio = throughput_ratio(points, baseline["results"])
+        cost = (1.0 - ratio) * 100.0
+        verdict = "ok" if cost < tolerance else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(
+            f"vs baseline {args.check_baseline}: {cost:+.2f}% slower "
+            f"(gate <{tolerance:g}%)  {verdict}"
+        )
 
     if args.out is not None:
         payload = {

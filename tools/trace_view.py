@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Render an exported Chrome-trace file as a text timeline.
+
+    PYTHONPATH=src python tools/trace_view.py trace.json
+    PYTHONPATH=src python tools/trace_view.py trace.json --list
+    PYTHONPATH=src python tools/trace_view.py trace.json --trace-id 0x1a2b... --width 80
+
+Pairs with ``repro.trace``'s exporter: anything written by
+``write_chrome_trace`` (see ``examples/traced_client.py`` or
+``docs/observability.md``) loads here; the same file also loads in
+``chrome://tracing`` / https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.trace import format_timeline, read_chrome_trace  # noqa: E402
+from repro.trace.view import format_summary  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome-trace JSON file")
+    parser.add_argument(
+        "--trace-id",
+        help="render only this trace id (hex, e.g. 0x1a2b; default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list trace ids and exit"
+    )
+    parser.add_argument(
+        "--summary", action="store_true", help="per-stage aggregate only"
+    )
+    parser.add_argument("--width", type=int, default=64, help="bar width")
+    parser.add_argument(
+        "--no-attrs", action="store_true", help="omit span attributes"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = read_chrome_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"not a Chrome-trace file: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print("no spans in", args.trace)
+        return 1
+
+    trace_ids: dict[int, int] = {}
+    for span in spans:
+        trace_ids[span.trace_id] = trace_ids.get(span.trace_id, 0) + 1
+
+    if args.list:
+        for tid, count in trace_ids.items():
+            print(f"0x{tid:016x}  {count} spans")
+        return 0
+
+    if args.summary:
+        print(format_summary(spans))
+        return 0
+
+    if args.trace_id is not None:
+        wanted = int(args.trace_id, 16)
+        spans = [s for s in spans if s.trace_id == wanted]
+        if not spans:
+            print(f"no spans with trace id 0x{wanted:016x}")
+            return 1
+        groups = [wanted]
+    else:
+        groups = list(trace_ids)
+
+    for i, tid in enumerate(groups):
+        if i:
+            print()
+        print(
+            format_timeline(
+                [s for s in spans if s.trace_id == tid],
+                width=args.width,
+                attrs=not args.no_attrs,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
