@@ -19,6 +19,7 @@ from repro.cdr.accounting import (
     register_account,
     unregister_account,
 )
+import repro.san as san
 from repro.core.spmd import SpmdServerGroup
 from repro.dist.schedule import schedule_cache_stats
 from repro.orb.adapter import ObjectAdapter, Servant, ServantContext
@@ -58,6 +59,7 @@ class ORB:
         naming: Any = None,
         ft_policy: Any = None,
         trace: Any = None,
+        sanitize: bool | None = None,
     ) -> None:
         """``fabric``/``naming`` default to the in-process transport
         and registry; pass a :class:`~repro.orb.socketnet.SocketFabric`
@@ -70,13 +72,22 @@ class ORB:
         :class:`~repro.trace.TraceRecorder` (exposed as
         :attr:`trace`), or an existing recorder to share one across
         ORBs; ``None`` (the default) keeps tracing off with no
-        per-invocation cost."""
+        per-invocation cost.  ``sanitize`` turns on the runtime
+        sanitizer (:mod:`repro.san`) for every client runtime this
+        ORB mints — collective-alignment checks and future-lifecycle
+        tracking; ``None`` (the default) defers to the ``PARDIS_SAN``
+        environment variable.  See ``docs/sanitizer.md``."""
         self.name = name
         self.fabric = fabric if fabric is not None else Fabric(name)
         self.naming = naming if naming is not None else NamingService()
         self.tracer = tracer
         self.timeout = timeout
         self.ft_policy = ft_policy
+        #: Runtime-sanitizer switch (None defers to ``PARDIS_SAN``);
+        #: resolved once here so every runtime this ORB mints agrees.
+        self.sanitize = (
+            san.enabled() if sanitize is None else bool(sanitize)
+        )
         #: The repro.trace recorder shared by every runtime and servant
         #: group this ORB creates (None = tracing off).
         # Identity tests, not truthiness: an *empty* recorder is falsy
@@ -145,7 +156,8 @@ class ORB:
         for client retries: a positive byte budget records sent
         replies so a retried request whose reply was lost is answered
         from the cache instead of re-executed (see
-        :mod:`repro.ft.dedup`).  ``request_timeout`` bounds a
+        :mod:`repro.ft.dedup`; lint rule PD209 flags retrying
+        clients of a cache-less server).  ``request_timeout`` bounds a
         dispatched request's server-side waits (chunk collection from
         a client whose data path died); ``None`` inherits the ORB
         timeout, so a short-deadline ORB also fails fast server-side.
@@ -206,6 +218,7 @@ class ORB:
             rts_style=rts_style,
             pipeline_depth=pipeline_depth,
             ft_policy=ft_policy if ft_policy is not None else self.ft_policy,
+            sanitize=self.sanitize,
         )
         with self._lock:
             self._runtimes.append(runtime)
@@ -258,7 +271,9 @@ class ORB:
         for §3.3 chunk schedules), ``cdr_copies`` (lifetime wire-path
         copy accounting), ``ft`` (client fault-tolerance counters
         summed over this ORB's runtimes), ``reply_caches``
-        (server-side dedup counters per activated group), and — when
+        (server-side dedup counters per activated group), ``san``
+        (the :mod:`repro.san` sanitizer's counters and findings —
+        see ``docs/sanitizer.md``), and — when
         tracing is on — ``trace`` (recorder occupancy plus the
         counters/histograms of the :mod:`repro.trace` metrics
         registry).  See ``docs/observability.md`` for the full schema.
@@ -296,6 +311,10 @@ class ORB:
             "cdr_copies": {"bytes": copied_bytes, "events": copy_events},
             "ft": ft,
             "reply_caches": reply_caches,
+            # Process-wide sanitizer snapshot (detector counters and
+            # findings); {"enabled": False, ...} when the sanitizer
+            # is off.
+            "san": san.stats(),
         }
         if self.trace is not None:
             snapshot["trace"] = {

@@ -171,6 +171,56 @@ _RULES = (
         "outcome: the guarded ranks time out while the others "
         "proceed, and the collective sequences diverge.",
     ),
+    Rule(
+        "PD209",
+        "retries-without-reply-cache",
+        "warning",
+        "retries enabled on a proxy whose server has no reply cache",
+        "Fault tolerance (docs/robustness.md): a retried request "
+        "whose *reply* was lost re-executes on the servant unless "
+        "the server records sent replies.  Binding with an FtPolicy "
+        "whose max_retries > 0 against an object served without "
+        "reply_cache_bytes is a duplicate-execution hazard for any "
+        "non-idempotent operation.",
+    ),
+    Rule(
+        "PD210",
+        "divergent-collective-across-calls",
+        "error",
+        "rank-dependent branch hides a collective behind a call, "
+        "diverging the group's collective sequence",
+        "§2: a collective request must be issued by every computing "
+        "thread.  The interprocedural flow analysis found a "
+        "rank-guarded path whose collective-effect sequence — "
+        "including collectives performed inside functions it calls "
+        "— differs from the unguarded path's, so the ranks that "
+        "take it fall out of lockstep and the group deadlocks.",
+    ),
+    Rule(
+        "PD211",
+        "collective-in-exception-path",
+        "error",
+        "collective effect inside an exception handler without "
+        "failure agreement",
+        "§2 + fault tolerance: exceptions are rank-local — only the "
+        "ranks that raised enter the handler — so a collective "
+        "issued there is issued by a subset of the group.  The "
+        "sanctioned idiom reconciles the handler through "
+        "repro.ft.agreement first, so every rank converges on one "
+        "outcome before the next collective.",
+    ),
+    Rule(
+        "PD212",
+        "early-return-skips-collective",
+        "error",
+        "rank-guarded early return skips collectives issued later "
+        "in the function",
+        "§2: the ranks that take a rank-guarded return (or raise) "
+        "never issue the collectives that follow it, while the "
+        "remaining ranks block in them forever — the same deadlock "
+        "as PD201, hidden by control flow instead of a guard "
+        "around the call itself.",
+    ),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULES}

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 rendering for lint diagnostics.
+
+``repro-lint --format sarif`` emits the Static Analysis Results
+Interchange Format so CI systems (notably GitHub code scanning) can
+render findings as inline annotations.  One run, one tool
+(``repro-lint``), one result per diagnostic; the rule catalogue
+entries referenced by the results are embedded in the tool driver so
+the file is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import RULES
+
+#: SARIF levels by diagnostic severity.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(diagnostic: Diagnostic, rule_index: int) -> dict:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message = f"{message}. Hint: {diagnostic.hint}"
+    region: dict = {"startLine": max(1, diagnostic.line)}
+    column = getattr(diagnostic, "column", None)
+    if column:
+        region["startColumn"] = column
+    return {
+        "ruleId": diagnostic.rule,
+        "ruleIndex": rule_index,
+        "level": _LEVELS.get(diagnostic.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.file.replace("\\", "/"),
+                    },
+                    "region": region,
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """The diagnostics as a SARIF 2.1.0 log (a JSON string)."""
+    diagnostics = list(diagnostics)
+    rule_ids = sorted({d.rule for d in diagnostics})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/pardis-repro/repro"
+                        ),
+                        "rules": [
+                            _rule_descriptor(rule_id)
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    _result(d, rule_index[d.rule])
+                    for d in diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

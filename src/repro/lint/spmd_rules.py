@@ -467,6 +467,112 @@ def _check_transfer(
 
 
 # ---------------------------------------------------------------------------
+# PD209: retries against a server without a reply cache
+# ---------------------------------------------------------------------------
+
+
+def _retry_policy(node: ast.expr) -> bool:
+    """Is ``node`` an ``FtPolicy(...)`` call that provably enables
+    retries (``max_retries`` a constant > 0)?"""
+    if not (
+        isinstance(node, ast.Call)
+        and _call_name(node) == "FtPolicy"
+    ):
+        return False
+    retries = _keyword(node, "max_retries")
+    return (
+        isinstance(retries, ast.Constant)
+        and isinstance(retries.value, int)
+        and not isinstance(retries.value, bool)
+        and retries.value > 0
+    )
+
+
+def _check_retry_cache(
+    tree: ast.Module, path: str
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    # Pass 1: served objects, and whether each has a reply cache.
+    # A non-constant reply_cache_bytes is assumed to enable the
+    # cache: only a provably absent/zero cache is worth reporting.
+    uncached: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) != "serve" or not node.args:
+            continue
+        target = node.args[0]
+        if not (
+            isinstance(target, ast.Constant)
+            and isinstance(target.value, str)
+        ):
+            continue
+        cache = _keyword(node, "reply_cache_bytes")
+        if cache is None or (
+            isinstance(cache, ast.Constant)
+            and isinstance(cache.value, int)
+            and cache.value <= 0
+        ):
+            uncached[target.value] = node.lineno
+
+    if not uncached:
+        return out
+
+    # Pass 2: names bound to retrying FtPolicy instances.
+    retry_names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and _retry_policy(node.value)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    retry_names.add(target.id)
+
+    # Pass 3: bind sites pairing a retry policy with an uncached
+    # server.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) not in ("_bind", "_spmd_bind"):
+            continue
+        if not node.args:
+            continue
+        bound = node.args[0]
+        if not (
+            isinstance(bound, ast.Constant)
+            and isinstance(bound.value, str)
+            and bound.value in uncached
+        ):
+            continue
+        policy = _keyword(node, "ft_policy")
+        if policy is None:
+            continue
+        retrying = _retry_policy(policy) or (
+            isinstance(policy, ast.Name)
+            and policy.id in retry_names
+        )
+        if retrying:
+            out.append(
+                _diag(
+                    "PD209",
+                    path,
+                    node.lineno,
+                    f"'{bound.value}' is bound with a retrying "
+                    f"FtPolicy but served without a reply cache "
+                    f"(line {uncached[bound.value]}): a retry "
+                    f"after a lost reply re-executes the request "
+                    f"on the servant",
+                    "serve with reply_cache_bytes > 0 so "
+                    "duplicate requests are answered from the "
+                    "cache, or set max_retries=0 for "
+                    "non-idempotent interfaces",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -500,6 +606,14 @@ def lint_python_source(
     diagnostics += _check_futures(tree, path)
     diagnostics += _check_touch_loops(tree, path)
     diagnostics += _check_transfer(tree, path)
+    diagnostics += _check_retry_cache(tree, path)
+
+    # The interprocedural collective-flow rules (PD210–PD212).
+    # Imported lazily: repro.lint.flow shares the token sets above,
+    # so a top-level import would be cyclic.
+    from repro.lint.flow import analyze_flow
+
+    diagnostics += analyze_flow(tree, path)
 
     literals = find_embedded_idl(tree)
     if literals:

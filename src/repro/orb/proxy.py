@@ -45,6 +45,10 @@ from repro.orb.transfer import (
 )
 from repro.orb.transport import Fabric
 from repro.rts.futures import Future
+from repro.san import call_site as _san_call_site
+from repro.san import enabled as _san_enabled
+from repro.san.collective import CollectiveChecker
+from repro.san.futures import track as _san_track
 from repro.trace.span import span_or_null
 from repro.rts.interface import MessagePassingRTS, RuntimeSystem
 from repro.rts.mpi import Intracomm
@@ -119,6 +123,7 @@ class ClientRuntime:
         pipeline_depth: int = 8,
         ft_policy: Any = None,
         trace: Any = None,
+        sanitize: bool | None = None,
     ) -> None:
         if pipeline_depth <= 0:
             raise ValueError("pipeline_depth must be positive")
@@ -154,6 +159,17 @@ class ClientRuntime:
         else:
             self.orb_comm = comm.dup(f"{label}:orb")
             self.rts = make_rts(rts_style, self.orb_comm)
+        #: ``repro.san``: ``sanitize=None`` defers to ``PARDIS_SAN``.
+        self.sanitize = (
+            _san_enabled() if sanitize is None else bool(sanitize)
+        )
+        # The alignment checker gets its own communicator: its p2p
+        # digest traffic must never tag-match the engines' traffic on
+        # orb_comm, and runtime creation is already collective so the
+        # dup rendezvous is safe here.
+        self.san: CollectiveChecker | None = None
+        if self.sanitize and comm is not None:
+            self.san = CollectiveChecker(comm.dup(f"{label}:san"))
         self.reply_port = fabric.open_port(f"{label}:{self.rank}:reply")
         self.data_port = fabric.open_port(f"{label}:{self.rank}:data")
         self.collector = ChunkCollector(self.data_port)
@@ -226,6 +242,10 @@ class ClientRuntime:
         view.ft_stats = self.ft_stats
         view._collective_indexes = itertools.count()
         view._closed = False
+        # Future tracking survives the serial view; the alignment
+        # checker does not — a 1-thread client has no group to align.
+        view.sanitize = self.sanitize
+        view.san = None
         # Share the worker so invocation order is global per thread.
         view._worker = self.worker
         return view
@@ -340,25 +360,32 @@ class _InvocationWorker:
             item = self._queue.get()
             if item is None:
                 break
-            if item[0] == "flush":
-                self._drain_through(item[1])
-                continue
-            _kind, fn, future = item
-            # Admission: never more than ``depth`` in flight.
-            while len(self._pending) >= self.depth:
-                self._drain_one()
-            try:
-                state, payload = fn()
-            except BaseException as exc:  # noqa: BLE001 - to the future
-                future.set_exception(exc)
-                continue
-            if state == "done":
-                future.set_result(payload)
-            else:
-                self._pending.append((payload, future))
+            self._handle(item)
+            # A lingering loop variable would pin the last future
+            # across the blocking get(), hiding abandoned futures
+            # from the lifecycle sanitizer until shutdown.
+            del item
         # Shutdown: every launched request still gets its completion.
         while self._pending:
             self._drain_one()
+
+    def _handle(self, item: tuple) -> None:
+        if item[0] == "flush":
+            self._drain_through(item[1])
+            return
+        _kind, fn, future = item
+        # Admission: never more than ``depth`` in flight.
+        while len(self._pending) >= self.depth:
+            self._drain_one()
+        try:
+            state, payload = fn()
+        except BaseException as exc:  # noqa: BLE001 - to the future
+            future.set_exception(exc)
+            return
+        if state == "done":
+            future.set_result(payload)
+        else:
+            self._pending.append((payload, future))
 
     def submit(self, fn: Callable[[], Any], label: str) -> Future:
         """Enqueue a launch; ``fn()`` must return the engine's
@@ -615,12 +642,23 @@ class ClientProxy:
         runtime = self._runtime
         engine = self._engine
         ref = self._ref
+        site = ""
+        if runtime.sanitize:
+            site = _san_call_site()
+            if self._mode is BindMode.SPMD and runtime.san is not None:
+                # Alignment check on the application thread, in
+                # program order, *before* the launch enters the
+                # worker: a divergent rank aborts here with the call
+                # site, instead of cross-matching engine collectives.
+                runtime.san.check(
+                    f"{self._interface}.{operation}", site
+                )
         out_map = {
             param: template_spec
             for (op, param), template_spec in self._out_templates.items()
             if op == operation
         }
-        return runtime.worker.submit(
+        future = runtime.worker.submit(
             lambda: engine.invoke_begin(
                 runtime,
                 ref,
@@ -632,6 +670,28 @@ class ClientProxy:
             ),
             label=f"{self._interface}.{operation}",
         )
+        if runtime.sanitize:
+            _san_track(
+                future, f"{self._interface}.{operation}", site
+            )
+        return future
+
+    def invoke_all(self, operation: str, args: tuple = ()) -> Any:
+        """Collective invocation by name (the paper's vocabulary).
+
+        Equivalent to calling the generated stub method, but spelled
+        with the §2 verb the correctness tooling is built around:
+        both the static collective-flow analysis
+        (:mod:`repro.lint.flow`) and the runtime sanitizer
+        (:mod:`repro.san`) treat ``invoke_all`` as a collective
+        entry point, so code using this spelling is checkable even
+        when the operation name is dynamic.
+        """
+        return self._invoke(operation, tuple(args))
+
+    def invoke_all_nb(self, operation: str, args: tuple = ()) -> Future:
+        """Non-blocking :meth:`invoke_all`, returning a future."""
+        return self._invoke_nb(operation, tuple(args))
 
     def _on_degrade(self) -> None:
         """Multi-port graceful degradation (engine callback, every

@@ -36,6 +36,7 @@ from repro.cdr.encoder import CdrEncoder
 from repro.cdr.typecodes import MarshalError
 from repro.orb.naming import NamingError, NamingService
 from repro.orb.reference import ObjectReference
+from repro.san import enabled as _san_enabled
 from repro.orb.transport import (
     Meter,
     Port,
@@ -124,6 +125,16 @@ class _ConnBuffers:
         self.header = bytearray(_LENGTH.size)
         self._free: list[bytearray] = []
         self._pool_size = pool_size
+        # repro.san buffer-escape detection (PARDIS_SAN=1): recycle
+        # refuses buffers with live memoryview exports and poisons
+        # clean ones.  Env-gated here — connections outlive any one
+        # ORB, so there is no per-ORB switch to consult.
+        if _san_enabled():
+            from repro.san.buffers import BufferGuard
+
+            self._guard: Any = BufferGuard()
+        else:
+            self._guard = None
 
     def take(self, length: int) -> tuple[bytearray, bool]:
         """A buffer of at least ``length`` bytes plus whether it is
@@ -135,6 +146,10 @@ class _ConnBuffers:
         return bytearray(length), False
 
     def give(self, buf: bytearray) -> None:
+        if self._guard is not None and not self._guard.check_and_poison(
+            buf
+        ):
+            return  # escaped view reported; quarantine the buffer
         if len(self._free) < self._pool_size:
             self._free.append(buf)
 

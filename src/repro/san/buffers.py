@@ -1,0 +1,71 @@
+"""Buffer-view escape detection (the zero-copy pool hazard).
+
+The socket fabric's reader loop receives small frames into pooled
+``bytearray`` buffers; payload views must be copied out before the
+buffer is recycled (``copy_payload=True`` on dispatch).  A decoder
+that holds a zero-copy ``memoryview`` past that point reads whatever
+the *next* frame deposits — silent data corruption with no crash.
+
+The guard exploits CPython's buffer-export protocol: a ``bytearray``
+with live ``memoryview`` exports refuses size changes with
+``BufferError``.  On every recycle the guard attempts a size-changing
+no-op; failure means a view escaped — the buffer is reported and
+*leaked* (never pooled again), so the stale view at least keeps
+reading stable bytes.  Clean buffers are poisoned with ``0xDD``
+before reuse, so any later use-after-recycle read that does slip
+through yields an obviously-wrong pattern instead of plausible data.
+"""
+
+from __future__ import annotations
+
+from repro.san import Finding, bump, record
+
+#: The poison pattern: distinctive, and invalid as a frame header.
+POISON_BYTE = 0xDD
+
+
+class BufferGuard:
+    """Recycle-time checks for one connection's buffer pool."""
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = 0  # recycles seen (the pool's logical clock)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def check_and_poison(self, buf: bytearray) -> bool:
+        """May ``buf`` rejoin the pool?  ``False`` reports an escaped
+        view and quarantines the buffer."""
+        self._epoch += 1
+        try:
+            # A size-changing no-op: raises BufferError iff a
+            # memoryview export is still alive.
+            buf.append(0)
+            del buf[-1:]
+        except BufferError:
+            record(
+                Finding(
+                    detector="buffer",
+                    message=(
+                        f"a memoryview into a pooled receive "
+                        f"buffer ({len(buf)} bytes) is still alive "
+                        f"at recycle (pool epoch {self._epoch}): a "
+                        f"zero-copy payload view escaped its "
+                        f"frame's lifetime and would read the next "
+                        f"frame's bytes; the buffer is quarantined"
+                    ),
+                    extra={
+                        "epoch": self._epoch,
+                        "size": len(buf),
+                    },
+                )
+            )
+            return False
+        # Poison so any un-exported stale reference that dodged the
+        # export check reads 0xDD garbage, not the previous payload.
+        buf[:] = bytes([POISON_BYTE]) * len(buf)
+        bump("buffers_poisoned")
+        return True

@@ -1,0 +1,160 @@
+"""Collective-alignment checking (the dynamic PD201/PD210).
+
+Every collective invocation must be issued by every computing thread
+at the same point in the collective sequence (§2).  When a rank
+diverges — a rank-guarded call, a data-dependent branch — the plain
+runtime cross-matches collectives of *different* requests and every
+rank hangs until the 60 s RTS timeout, with no hint of where the
+sequences forked.
+
+The checker turns that hang into an immediate, located error.  On the
+application thread, before an invocation enters the engine, each rank
+announces a digest ``(collective_index, operation, call_site)`` to
+rank 0 over a dedicated communicator (a ``dup`` of the client group's
+comm, so checker traffic can never interleave with engine
+collectives).  Rank 0 compares the digests and answers with a
+verdict; any mismatch — or a rank that never announces within
+``PARDIS_SAN_TIMEOUT`` — raises :class:`~repro.san.SanitizerError`
+on every participating rank, naming the divergent operation and the
+exact source line that issued it.
+
+The exchange is point-to-point, not an ``allgather``, deliberately:
+the RTS collectives block *forever* on a missing participant (that is
+the bug class under test), while a p2p receive takes a timeout.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.rts.mpi import DeadlockError, Intracomm
+
+from repro.san import (
+    Finding,
+    SanitizerError,
+    bump,
+    record,
+    timeout as _default_timeout,
+)
+
+
+class CollectiveChecker:
+    """Per-runtime alignment checker for one SPMD client group.
+
+    One instance per :class:`~repro.orb.proxy.ClientRuntime`; the
+    index counter advances in program order on the application
+    thread, mirroring the runtime's collective-sequence counter.
+    """
+
+    def __init__(
+        self, comm: Intracomm, timeout: float | None = None
+    ) -> None:
+        self.comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.timeout = (
+            _default_timeout() if timeout is None else timeout
+        )
+        self._indexes = itertools.count()
+
+    def check(self, operation: str, site: str) -> None:
+        """Agree that every rank is entering ``operation`` at this
+        collective index; raise on divergence (all ranks raise)."""
+        index = next(self._indexes)
+        bump("collective_checks")
+        if self.rank == 0:
+            self._check_root(index, operation, site)
+        else:
+            self._check_leaf(index, operation, site)
+
+    # -- rank 0: collect digests, judge, publish the verdict ---------------
+
+    def _check_root(
+        self, index: int, operation: str, site: str
+    ) -> None:
+        digests: dict[int, tuple[str, str]] = {
+            0: (operation, site)
+        }
+        missing: list[int] = []
+        for source in range(1, self.size):
+            try:
+                rank, op, their_site = self.comm.recv(
+                    source=source, tag=index, timeout=self.timeout
+                )
+                digests[rank] = (op, their_site)
+            except DeadlockError:
+                missing.append(source)
+        verdict = self._judge(index, digests, missing)
+        for source in digests:
+            if source != 0:
+                self.comm.send(verdict, dest=source, tag=index)
+        if verdict is not None:
+            self._fail(verdict, operation, index, site)
+
+    def _judge(
+        self,
+        index: int,
+        digests: dict[int, tuple[str, str]],
+        missing: list[int],
+    ) -> str | None:
+        """``None`` when aligned, else the divergence message."""
+        if missing:
+            announced = ", ".join(
+                f"rank {r}: '{op}' at {site}"
+                for r, (op, site) in sorted(digests.items())
+            )
+            return (
+                f"collective #{index} divergence: rank(s) "
+                f"{', '.join(map(str, missing))} never announced a "
+                f"collective within {self.timeout:g}s while "
+                f"{announced} — a rank-dependent path skipped or "
+                f"reordered a collective invocation"
+            )
+        ops = {op for op, _site in digests.values()}
+        if len(ops) > 1:
+            announced = "; ".join(
+                f"rank {r} issued '{op}' at {site}"
+                for r, (op, site) in sorted(digests.items())
+            )
+            return (
+                f"collective #{index} divergence: the ranks are "
+                f"issuing different operations — {announced}"
+            )
+        return None
+
+    # -- other ranks: announce, await the verdict --------------------------
+
+    def _check_leaf(
+        self, index: int, operation: str, site: str
+    ) -> None:
+        self.comm.send(
+            (self.rank, operation, site), dest=0, tag=index
+        )
+        try:
+            verdict = self.comm.recv(
+                source=0, tag=index, timeout=self.timeout
+            )
+        except DeadlockError:
+            # Rank 0 itself never reached this collective (it took
+            # the divergent path, or aborted on its own finding).
+            verdict = (
+                f"collective #{index} divergence: rank 0 never "
+                f"judged '{operation}' within {self.timeout:g}s — "
+                f"it is not issuing a collective at this point in "
+                f"the sequence"
+            )
+        if verdict is not None:
+            self._fail(verdict, operation, index, site)
+
+    def _fail(
+        self, message: str, operation: str, index: int, site: str
+    ) -> None:
+        record(
+            Finding(
+                detector="collective",
+                message=message,
+                site=site,
+                extra={"operation": operation, "index": index},
+            )
+        )
+        raise SanitizerError(message)

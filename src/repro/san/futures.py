@@ -1,0 +1,87 @@
+"""Future-lifecycle tracking (the dynamic PD202).
+
+The static rule only sees futures that are *syntactically* dropped.
+At run time the hazard is broader: a future stored, passed around,
+and then garbage-collected without anyone observing its outcome —
+which silently swallows the invocation's exception, exactly the
+error-hiding §4 warns about.
+
+When the sanitizer is on, every future minted by the invocation
+worker gets a :class:`_FutureState` and a ``weakref.finalize`` hook.
+The :class:`~repro.rts.futures.Future` accessors mark the state as
+the program consumes the future; at finalization an unconsumed result
+or a never-retrieved exception becomes a registry finding naming the
+call site that created the future.  Pure observation: no timing, no
+blocking, nothing on the resolve path beyond one attribute store.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any
+
+from repro.san import Finding, bump, record
+
+
+class _FutureState:
+    """What the sanitizer remembers about one tracked future."""
+
+    __slots__ = (
+        "label",
+        "site",
+        "consumed",
+        "resolved",
+        "failed",
+        "exc_retrieved",
+        "exc_repr",
+    )
+
+    def __init__(self, label: str, site: str) -> None:
+        self.label = label
+        self.site = site
+        self.consumed = False  # any blocking read completed
+        self.resolved = False
+        self.failed = False  # resolved with an exception
+        self.exc_retrieved = False  # the exception was observed
+        self.exc_repr = ""
+
+
+def track(future: Any, label: str, site: str) -> _FutureState:
+    """Attach lifecycle tracking to ``future``; report at GC."""
+    state = _FutureState(label, site)
+    future._san_state = state
+    # finalize holds the *state*, never the future: tracking must not
+    # extend the future's lifetime (that would mask the leak).
+    weakref.finalize(future, _finalized, state)
+    bump("futures_tracked")
+    return state
+
+
+def _finalized(state: _FutureState) -> None:
+    if state.failed and not state.exc_retrieved:
+        record(
+            Finding(
+                detector="future",
+                message=(
+                    f"future '{state.label}' was finalized with a "
+                    f"never-retrieved exception "
+                    f"({state.exc_repr}): the invocation failed "
+                    f"and nothing observed it"
+                ),
+                site=state.site,
+                extra={"label": state.label, "kind": "exception-leak"},
+            )
+        )
+    elif not state.consumed:
+        record(
+            Finding(
+                detector="future",
+                message=(
+                    f"future '{state.label}' was finalized without "
+                    f"its result ever being consumed: the program "
+                    f"cannot know whether the invocation completed"
+                ),
+                site=state.site,
+                extra={"label": state.label, "kind": "never-consumed"},
+            )
+        )

@@ -149,6 +149,7 @@ def test_failure_order_is_deterministic_across_reads(idl):
             futures = [proxy.twice_nb(float(i)) for i in range(4)]
             assert futures[3].value(timeout=30.0) == 6.0
             assert futures[1].value(timeout=30.0) == 2.0
+            assert futures[2].value(timeout=30.0) == 4.0
             assert isinstance(
                 futures[0].exception(timeout=30.0), DeadlineExceeded
             )

@@ -1,0 +1,12 @@
+"""Fixture: a collective hidden one call deep behind a rank guard
+(PD210) — the shape PD201 cannot see."""
+
+
+def refresh(orb, obj):
+    return orb.invoke_all(obj, "refresh", ())
+
+
+def main(orb, obj, rank):
+    if rank == 0:
+        refresh(orb, obj)
+    return obj

@@ -1,0 +1,13 @@
+"""Fixture: a rank-guarded early return skips a later collective
+(PD212)."""
+
+
+def shutdown(rts, obj):
+    rts.synchronize()
+
+
+def main(rts, obj, rank):
+    if rank != 0:
+        return None
+    shutdown(rts, obj)
+    return obj

@@ -1,0 +1,10 @@
+"""Fixture: a collective issued from an exception handler without
+failure agreement (PD211)."""
+
+
+def recover(rts, obj):
+    try:
+        obj.step()
+    except RuntimeError:
+        rts.synchronize()
+        obj.reset()

@@ -1,0 +1,10 @@
+"""Fixture: retries against a server without a reply cache (PD209)."""
+
+from repro.ft.policy import FtPolicy
+
+RETRYING = FtPolicy(max_retries=3)
+
+
+def main(orb, proxy_cls, runtime, factory):
+    orb.serve("ledger", factory)
+    return proxy_cls._bind("ledger", runtime, ft_policy=RETRYING)

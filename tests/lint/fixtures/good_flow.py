@@ -1,0 +1,42 @@
+"""Fixture: rank-dependent control flow that stays collectively
+aligned (flow rules must stay silent).
+
+Every shape here is legal: rank-dependent branches with identical
+collective continuations, divergence reconciled through the
+agreement API, and a guarded early return *before* any collective
+work begins on either side.
+"""
+
+from repro.ft.agreement import agree_failure
+
+
+def step(orb, obj):
+    return orb.invoke_all(obj, "step", ())
+
+
+def aligned(orb, obj, rank):
+    # Both arms fall through to the same collective continuation.
+    if rank == 0:
+        log = "leader"
+    else:
+        log = "follower"
+    step(orb, obj)
+    return log
+
+
+def reconciled(orb, rts, obj, rank):
+    # Divergence is deliberate and agreement-reconciled.
+    failure = None
+    if rank == 0:
+        try:
+            step(orb, obj)
+        except RuntimeError:
+            failure = "down"
+    return agree_failure(rts, failure)
+
+
+def guarded_probe(obj, rank):
+    # Early return with no collectives anywhere after it.
+    if rank != 0:
+        return None
+    return obj.name

@@ -1,0 +1,75 @@
+"""SARIF output: structure, rule metadata, and CLI integration."""
+
+import json
+import pathlib
+
+from repro.lint import lint_file, render_sarif
+from repro.lint.cli import main
+from repro.lint.sarif import SARIF_VERSION
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def _log_for(fixture):
+    return json.loads(
+        render_sarif(lint_file(str(FIXTURES / fixture)))
+    )
+
+
+def test_sarif_log_shape():
+    log = _log_for("bad_rank_guard.py")
+    assert log["version"] == SARIF_VERSION
+    [run] = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    [result] = run["results"]
+    assert result["ruleId"] == "PD201"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith(
+        "bad_rank_guard.py"
+    )
+    assert location["region"]["startLine"] == 6
+
+
+def test_sarif_embeds_rule_metadata():
+    log = _log_for("bad_divergent_helper.py")
+    [run] = log["runs"]
+    [rule] = run["tool"]["driver"]["rules"]
+    assert rule["id"] == "PD210"
+    assert rule["defaultConfiguration"]["level"] == "error"
+    assert rule["fullDescription"]["text"]  # paper rationale present
+    # ruleIndex points back into the embedded rules array.
+    [result] = run["results"]
+    assert result["ruleIndex"] == 0
+
+
+def test_sarif_result_message_includes_hint():
+    log = _log_for("bad_retries_no_cache.py")
+    [result] = log["runs"][0]["results"]
+    assert result["level"] == "warning"
+    assert "Hint:" in result["message"]["text"]
+
+
+def test_empty_run_is_valid_sarif():
+    log = json.loads(render_sarif([]))
+    [run] = log["runs"]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"] == []
+
+
+def test_cli_format_sarif(capsys):
+    exit_code = main(
+        ["--format", "sarif", str(FIXTURES / "bad_rank_guard.py")]
+    )
+    assert exit_code == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"]
+
+
+def test_cli_format_sarif_clean(capsys):
+    exit_code = main(
+        ["--format", "sarif", str(FIXTURES / "good_spmd.py")]
+    )
+    assert exit_code == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []

@@ -16,6 +16,10 @@ PY_CASES = [
     ("bad_transfer_mismatch.py", "PD204", 6, "multiport=True"),
     ("bad_transfer_name.py", "PD205", 5, "valid transfer methods"),
     ("bad_unagreed_invocation.py", "PD208", 7, "agree"),
+    ("bad_retries_no_cache.py", "PD209", 10, "reply_cache_bytes"),
+    ("bad_divergent_helper.py", "PD210", 11, "same collective sequence"),
+    ("bad_exception_collective.py", "PD211", 9, "reconcile the handler"),
+    ("bad_early_return.py", "PD212", 11, "every rank reaches"),
 ]
 
 
@@ -36,6 +40,10 @@ def test_fixture_violation_is_reported(fixture, rule, line, hint):
 
 def test_good_spmd_fixture_lints_clean():
     assert lint_file(str(FIXTURES / "good_spmd.py")) == []
+
+
+def test_good_flow_fixture_lints_clean():
+    assert lint_file(str(FIXTURES / "good_flow.py")) == []
 
 
 def test_assigned_never_consumed_future_is_reported():

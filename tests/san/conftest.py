@@ -1,0 +1,24 @@
+"""Shared sanitizer-test plumbing.
+
+These tests *provoke* findings on purpose, so the process-wide
+registry is drained around every test — otherwise a provoked finding
+would leak into the suite-level zero-finding assertion the CI ``san``
+job makes.  ``PARDIS_SAN_LOG`` is unset for the same reason: the CI
+job treats any line in that file as a failure.
+"""
+
+import gc
+
+import pytest
+
+import repro.san as san
+
+
+@pytest.fixture(autouse=True)
+def clean_san_registry(monkeypatch):
+    monkeypatch.delenv("PARDIS_SAN_LOG", raising=False)
+    gc.collect()  # flush straggling finalizers from a previous test
+    san.clear_findings()
+    yield
+    gc.collect()
+    san.clear_findings()

@@ -1,0 +1,99 @@
+"""The ISSUE's end-to-end acceptance criterion.
+
+A divergent collective hidden one call deep must be caught twice
+over: statically, PD210 flags the rank-guarded helper call; and when
+the developer suppresses the lint and runs anyway under
+``PARDIS_SAN=1``, the runtime sanitizer aborts with a diagnostic
+naming the divergent operation and the call site — instead of every
+rank hanging in the engine (§2's failure mode)."""
+
+import pytest
+
+import repro.san as san
+from repro import ORB, compile_idl
+from repro.lint import lint_python_source
+from repro.san import SanitizerError
+
+COUNTER_IDL = """
+interface counter {
+    long bump();
+};
+"""
+
+# The buggy program under test.  ``helper`` hides the collective one
+# call deep; ``main`` only calls it on rank 0.
+PROGRAM = '''\
+def helper(proxy):
+    return proxy.invoke_all("bump", ())
+
+
+def main(proxy, rank):
+    if rank == 0:
+        return helper(proxy)
+    return None
+'''
+
+PROGRAM_SUPPRESSED = PROGRAM.replace(
+    "        return helper(proxy)",
+    "        return helper(proxy)  # pardis-lint: disable=PD210",
+)
+
+PROG_FILENAME = "san_acceptance_prog.py"
+
+
+@pytest.fixture(scope="module")
+def idl():
+    return compile_idl(COUNTER_IDL, module_name="san_counter_idl")
+
+
+def test_static_half_pd210_flags_the_hidden_divergence():
+    diagnostics = lint_python_source(PROGRAM, PROG_FILENAME)
+    pd210 = [d for d in diagnostics if d.rule == "PD210"]
+    assert pd210, "the hidden divergent collective must be flagged"
+    assert pd210[0].line == 7  # the rank-guarded helper call
+    assert "helper" in pd210[0].message
+
+
+def test_suppression_silences_the_static_half():
+    assert lint_python_source(PROGRAM_SUPPRESSED, PROG_FILENAME) == []
+
+
+def test_dynamic_half_aborts_naming_operation_and_site(idl, monkeypatch):
+    """Run the lint-suppressed program for real: the sanitizer must
+    abort rank 0 with the operation and program call site, not hang."""
+    monkeypatch.setenv("PARDIS_SAN_TIMEOUT", "1.5")
+
+    namespace: dict = {}
+    exec(compile(PROGRAM_SUPPRESSED, PROG_FILENAME, "exec"), namespace)
+    buggy_main = namespace["main"]
+
+    class Counter(idl.counter_skel):
+        def __init__(self):
+            self.count = 0
+
+        def bump(self):
+            self.count += 1
+            return self.count
+
+    with ORB("san-accept", sanitize=True, timeout=10.0) as orb:
+        orb.serve("counter", lambda ctx: Counter(), nthreads=1)
+
+        def run(c):
+            proxy = idl.counter._spmd_bind("counter", c.runtime)
+            try:
+                return ("ok", buggy_main(proxy, c.rank))
+            except SanitizerError as exc:
+                return ("abort", str(exc))
+
+        r0, r1 = orb.run_spmd_client(2, run, timeout=120.0)
+
+    assert r1 == ("ok", None)  # rank 1 took the empty path
+    status, message = r0
+    assert status == "abort", "rank 0 must abort, not hang"
+    assert "counter.bump" in message  # the divergent operation
+    assert PROG_FILENAME in message  # the user-code call site
+    assert "never announced" in message
+    assert "rank(s) 1" in message
+
+    findings = [f for f in san.findings() if f.detector == "collective"]
+    assert findings and findings[0].extra["operation"] == "counter.bump"

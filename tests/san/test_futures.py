@@ -1,0 +1,146 @@
+"""Future-lifecycle tracking: leaks are reported at finalization
+with the creating call site."""
+
+import gc
+import time
+
+import pytest
+
+import repro.san as san
+from repro import ORB, compile_idl
+
+WORK_IDL = """
+interface job {
+    long ok(in long x);
+    long fail(in long x);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def idl():
+    return compile_idl(WORK_IDL, module_name="san_job_idl")
+
+
+def _servant_factory(idl):
+    class Job(idl.job_skel):
+        def ok(self, x):
+            return x + 1
+
+        def fail(self, x):
+            raise RuntimeError("boom")
+
+    return lambda ctx: Job()
+
+
+@pytest.fixture()
+def orb(idl):
+    with ORB("san-fut", sanitize=True, timeout=10.0) as orb:
+        orb.serve("job", _servant_factory(idl))
+        yield orb
+
+
+@pytest.fixture()
+def proxy(orb, idl):
+    runtime = orb.client_runtime(label="san-fut-client")
+    try:
+        yield idl.job._bind("job", runtime)
+    finally:
+        runtime.close()
+
+
+def _future_findings():
+    return [f for f in san.findings() if f.detector == "future"]
+
+
+def _await_finding(kind, deadline=10.0):
+    """Finalization races with the engine thread dropping its own
+    reference to the future, so poll instead of asserting after one
+    ``gc.collect()``."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        gc.collect()
+        found = [f for f in _future_findings() if f.extra["kind"] == kind]
+        if found:
+            return found
+        time.sleep(0.01)
+    raise AssertionError(f"no {kind!r} finding within {deadline}s")
+
+
+def _settle():
+    """Give any straggling finalizers a chance to fire before a
+    clean-path assertion."""
+    for _ in range(10):
+        gc.collect()
+        time.sleep(0.01)
+
+
+def test_never_consumed_future_is_reported(proxy):
+    future = proxy.ok_nb(41)
+    while not future.ready():
+        time.sleep(0.001)
+    del future
+    [finding] = _await_finding("never-consumed")
+    assert finding.extra["label"] == "job.ok"
+    assert "never being consumed" in finding.message or "consumed" in finding.message
+    assert "test_futures.py" in finding.site
+
+
+def test_unretrieved_exception_is_reported(proxy):
+    future = proxy.fail_nb(1)
+    future.wait(timeout=30.0)  # observed completion, not the error
+    del future
+    [finding] = _await_finding("exception-leak")
+    assert "never-retrieved exception" in finding.message
+    assert "boom" in finding.message
+    assert "test_futures.py" in finding.site
+
+
+def test_consumed_future_is_clean(proxy):
+    future = proxy.ok_nb(1)
+    assert future.value(timeout=30.0) == 2
+    del future
+    _settle()
+    assert _future_findings() == []
+
+
+def test_retrieved_exception_is_clean(proxy):
+    future = proxy.fail_nb(1)
+    with pytest.raises(Exception):
+        future.value(timeout=30.0)
+    del future
+    _settle()
+    assert _future_findings() == []
+
+
+def test_exception_accessor_counts_as_retrieval(proxy):
+    future = proxy.fail_nb(1)
+    assert future.exception(timeout=30.0) is not None
+    del future
+    _settle()
+    assert _future_findings() == []
+
+
+def test_then_chain_consumes_the_parent(proxy):
+    chained = proxy.ok_nb(1).then(lambda v: v * 10)
+    assert chained.value(timeout=30.0) == 20
+    del chained
+    _settle()
+    assert _future_findings() == []
+
+
+def test_untracked_futures_cost_nothing_when_disabled(idl):
+    with ORB("san-off", sanitize=False, timeout=10.0) as orb:
+        orb.serve("job", _servant_factory(idl))
+        runtime = orb.client_runtime(label="san-off-client")
+        try:
+            proxy = idl.job._bind("job", runtime)
+            future = proxy.ok_nb(1)
+            assert future._san_state is None
+            while not future.ready():
+                time.sleep(0.001)
+            del future
+            _settle()
+        finally:
+            runtime.close()
+    assert _future_findings() == []

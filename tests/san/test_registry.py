@@ -1,0 +1,84 @@
+"""The sanitizer registry surface: env gating, the findings log,
+and the ``orb.stats()["san"]`` snapshot."""
+
+import json
+
+import pytest
+
+import repro.san as san
+from repro import ORB
+from repro.san import Finding
+
+
+def _finding(n=0):
+    return Finding(
+        detector="test",
+        message=f"synthetic finding {n}",
+        site="prog.py:12",
+        extra={"n": n},
+    )
+
+
+@pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
+def test_enabled_truthy_values(monkeypatch, value):
+    monkeypatch.setenv("PARDIS_SAN", value)
+    assert san.enabled()
+
+
+@pytest.mark.parametrize("value", ["0", "false", "", "off"])
+def test_enabled_falsy_values(monkeypatch, value):
+    monkeypatch.setenv("PARDIS_SAN", value)
+    assert not san.enabled()
+
+
+def test_timeout_knob(monkeypatch):
+    monkeypatch.setenv("PARDIS_SAN_TIMEOUT", "3.5")
+    assert san.timeout() == 3.5
+    monkeypatch.delenv("PARDIS_SAN_TIMEOUT")
+    assert san.timeout() == 20.0
+
+
+def test_record_appends_to_log_file(monkeypatch, tmp_path):
+    log = tmp_path / "san.jsonl"
+    monkeypatch.setenv("PARDIS_SAN_LOG", str(log))
+    san.record(_finding(1))
+    san.record(_finding(2))
+    lines = log.read_text().splitlines()
+    assert len(lines) == 2
+    entry = json.loads(lines[0])
+    assert entry["detector"] == "test"
+    assert entry["site"] == "prog.py:12"
+    assert entry["extra"] == {"n": 1}
+
+
+def test_clear_findings_drains():
+    san.record(_finding())
+    drained = san.clear_findings()
+    assert len(drained) == 1
+    assert san.findings() == []
+
+
+def test_render_names_detector_and_site():
+    text = _finding().render()
+    assert "test" in text
+    assert "prog.py:12" in text
+    assert "synthetic finding 0" in text
+
+
+def test_orb_stats_exposes_san_snapshot():
+    san.record(_finding())
+    with ORB("san-stats", sanitize=True, timeout=10.0) as orb:
+        snapshot = orb.stats()["san"]
+    assert set(snapshot) >= {"enabled", "counters", "findings"}
+    assert any(
+        f["message"] == "synthetic finding 0" for f in snapshot["findings"]
+    )
+
+
+def test_orb_sanitize_flag_overrides_env(monkeypatch):
+    monkeypatch.delenv("PARDIS_SAN", raising=False)
+    with ORB("san-flag", sanitize=True, timeout=10.0) as orb:
+        assert orb.sanitize
+    monkeypatch.setenv("PARDIS_SAN", "1")
+    with ORB("san-noflag", sanitize=False, timeout=10.0) as orb:
+        assert not orb.sanitize
