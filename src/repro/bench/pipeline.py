@@ -85,6 +85,8 @@ class PipelinePoint:
     mb_per_s: float
     #: Completed round-trips per second.
     requests_per_s: float
+    #: RTS backend the client ran on (``thread`` or ``process``).
+    rts: str = "thread"
 
 
 def _compiled_idl() -> Any:
@@ -114,6 +116,7 @@ def _measure(
     warmup: int,
     service_ms: float,
     repeats: int,
+    rts: str = "thread",
 ) -> PipelinePoint:
     n = max(size_bytes // 8, 1)
     runtime = orb.client_runtime(
@@ -157,6 +160,7 @@ def _measure(
         seconds=seconds,
         mb_per_s=moved / seconds / 1e6,
         requests_per_s=requests / seconds,
+        rts=rts,
     )
 
 
@@ -171,6 +175,7 @@ def _sweep(
     warmup: int,
     service_ms: float,
     repeats: int,
+    rts: str = "thread",
 ) -> list[PipelinePoint]:
     points = []
     for method in methods:
@@ -187,6 +192,7 @@ def _sweep(
                     warmup,
                     service_ms,
                     repeats,
+                    rts,
                 )
             )
     return points
@@ -202,6 +208,7 @@ def run_pipeline(
     service_ms: float = DEFAULT_SERVICE_MS,
     repeats: int = DEFAULT_REPEATS,
     trace: bool = False,
+    rts_backend: str = "thread",
 ) -> list[PipelinePoint]:
     """Run the depth sweep on one fabric and return the points.
 
@@ -210,11 +217,28 @@ def run_pipeline(
     ``tools/bench_pipeline.py --trace-overhead`` prices the
     instrumentation; the default leaves tracing off, i.e. measures the
     disabled-by-default fast path.
+
+    ``rts_backend="process"`` runs the client sweep in a forked
+    process-backend rank over TCP (socket fabric only): request
+    pipelining then overlaps with genuinely parallel server-side
+    compute instead of time-slicing one GIL.
     """
     from repro import ORB
 
     idl = _compiled_idl()
     depths = depths or DEFAULT_DEPTHS
+    if rts_backend not in ("thread", "process"):
+        raise ValueError(f"unknown RTS backend {rts_backend!r}")
+    if rts_backend == "process":
+        if fabric != "socket":
+            raise ValueError(
+                "rts_backend='process' needs fabric='socket': the "
+                "in-process fabric cannot span OS processes"
+            )
+        return _run_pipeline_process(
+            idl, methods, depths, size_bytes, requests, warmup,
+            service_ms, repeats, trace,
+        )
     if fabric == "inproc":
         with ORB("pipeline", trace=trace) as orb:
             # The echo servant is stateless, so the ordering contract
@@ -261,6 +285,65 @@ def run_pipeline(
                     size_bytes, requests, warmup, service_ms, repeats,
                 )
     raise ValueError(f"unknown fabric {fabric!r}")
+
+
+def _run_pipeline_process(
+    idl: Any,
+    methods: tuple[str, ...],
+    depths: list[int],
+    size_bytes: int,
+    requests: int,
+    warmup: int,
+    service_ms: float,
+    repeats: int,
+    trace: bool,
+) -> list[PipelinePoint]:
+    """Socket depth sweep with the client in a forked process rank."""
+    from repro import ORB
+    from repro.orb.socketnet import (
+        NamingServer,
+        RemoteNamingClient,
+        SocketFabric,
+    )
+    from repro.rts import spawn_spmd
+
+    with NamingServer() as names, \
+            SocketFabric("pipeline-server") as server_fabric:
+        host, port = names.host, names.tcp_port
+        server_orb = ORB(
+            "pipeline-server",
+            fabric=server_fabric,
+            naming=RemoteNamingClient(host, port),
+            trace=trace,
+        )
+        with server_orb:
+            server_orb.serve(
+                "pipeecho",
+                _make_servant_factory(idl, service_ms / 1e3),
+                nthreads=1,
+                dispatch_policy="concurrent",
+            )
+
+            def client_body(ctx: Any) -> list[PipelinePoint]:
+                with SocketFabric("pipeline-client") as client_fabric:
+                    client_orb = ORB(
+                        "pipeline-client",
+                        fabric=client_fabric,
+                        naming=RemoteNamingClient(host, port),
+                        trace=trace,
+                    )
+                    with client_orb:
+                        return _sweep(
+                            client_orb, idl, "socket", methods,
+                            depths, size_bytes, requests, warmup,
+                            service_ms, repeats, rts="process",
+                        )
+
+            handle = spawn_spmd(
+                client_body, 1, backend="process", name="pipeline"
+            )
+            (points,) = handle.join(None)
+            return points
 
 
 def speedups(points: list[PipelinePoint]) -> dict[tuple[str, str], float]:

@@ -1,0 +1,229 @@
+"""Thread-vs-process RTS backend benchmark: the data plane under load.
+
+The motivating claim of the process backend (ISSUE 7): when SPMD ranks
+do real Python compute between collective data movements, threads
+serialize on the GIL while processes run truly parallel, so aggregate
+gather/scatter throughput scales with cores.  This benchmark measures
+exactly that:
+
+- 4 ranks run an identical body on both backends (``spmd_run`` with
+  ``backend="thread"`` vs ``backend="process"``);
+- each iteration interleaves a **pure-Python, GIL-holding** compute
+  pass (no numpy ufuncs — those release the GIL and would flatter the
+  thread backend) with a >= 1 MiB ``gather_chunks`` or
+  ``scatter_chunks`` through :func:`repro.rts.rts_for`;
+- aggregate throughput is payload bytes moved per wall-clock second,
+  timed root-side between barriers.
+
+The ratio ``process / thread`` is the figure of merit.  It can only
+exceed 1 on a multi-core host: on a single core the process backend
+pays fork/IPC overhead with no parallelism to win back, so the emitted
+JSON records ``host`` (cpu_count and scheduler affinity) and the
+``--gate`` in ``tools/bench_procs.py`` only enforces the ratio when
+the host can express it.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.dist import BlockTemplate, Layout, transfer_schedule
+from repro.rts import rts_for, spmd_run
+
+#: Default payload: 4 MiB of float64 per collective.
+DEFAULT_SIZE = 4 << 20
+
+#: Small payload for CI smoke runs (still >= 1 MiB per acceptance).
+SMOKE_SIZE = 1 << 20
+
+DEFAULT_RANKS = 4
+DEFAULT_ITERATIONS = 8
+SMOKE_ITERATIONS = 3
+
+#: Inner-loop length of the GIL-holding compute pass per iteration.
+#: Calibrated so compute and data movement are the same order of
+#: magnitude at the default payload on a ~2020s core.
+DEFAULT_COMPUTE_UNITS = 200_000
+SMOKE_COMPUTE_UNITS = 50_000
+
+OPS = ("gather", "scatter")
+BACKENDS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ProcsPoint:
+    """One (backend, op) measurement at a fixed size and rank count."""
+
+    backend: str
+    op: str
+    ranks: int
+    size_bytes: int
+    iterations: int
+    compute_units: int
+    #: Best-of-repeats wall-clock for the timed loop (root-side).
+    seconds: float
+    #: Payload megabytes through the collective per second.
+    mb_per_s: float
+
+
+def host_info() -> dict:
+    """CPU facts the ratio depends on; recorded in the JSON."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "sched_affinity": affinity,
+    }
+
+
+def effective_cores() -> int:
+    """Cores this run can actually use (affinity-limited)."""
+    info = host_info()
+    return min(info["cpu_count"], info["sched_affinity"])
+
+
+def _busy(units: int) -> int:
+    # Pure Python, holds the GIL for its whole duration: this is the
+    # workload class the process backend exists for.
+    acc = 0
+    for i in range(units):
+        acc += i * i
+    return acc
+
+
+def _bench_body(
+    ctx,
+    op: str,
+    size_bytes: int,
+    iterations: int,
+    warmup: int,
+    compute_units: int,
+) -> float | None:
+    """Timed loop run identically on both backends; root returns seconds."""
+    n = max(size_bytes // 8, 1)
+    layout = BlockTemplate(ctx.size).layout(n)
+    root_layout = Layout(((0, n),))
+    rts = rts_for(ctx.comm)
+    local = np.full(layout.local_length(ctx.rank), float(ctx.rank))
+    if op == "gather":
+        steps = transfer_schedule(layout, root_layout)
+
+        def step() -> None:
+            rts.gather_chunks(local, steps, root=0, out=None)
+
+    elif op == "scatter":
+        steps = transfer_schedule(root_layout, layout)
+        full = (
+            np.arange(n, dtype=np.float64) if ctx.rank == 0 else None
+        )
+        out = np.empty(layout.local_length(ctx.rank))
+
+        def step() -> None:
+            rts.scatter_chunks(full, steps, root=0, out=out)
+
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+    for _ in range(warmup):
+        _busy(compute_units)
+        step()
+    rts.synchronize()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        _busy(compute_units)
+        step()
+    rts.synchronize()
+    seconds = time.perf_counter() - start
+    return seconds if ctx.rank == 0 else None
+
+
+def run_procs(
+    backends: tuple[str, ...] = BACKENDS,
+    ops: tuple[str, ...] = OPS,
+    size_bytes: int = DEFAULT_SIZE,
+    ranks: int = DEFAULT_RANKS,
+    iterations: int = DEFAULT_ITERATIONS,
+    warmup: int = 1,
+    compute_units: int = DEFAULT_COMPUTE_UNITS,
+    repeats: int = 3,
+) -> list[ProcsPoint]:
+    """Measure every backend x op pair and return the points."""
+    points: list[ProcsPoint] = []
+    for backend in backends:
+        for op in ops:
+            seconds = float("inf")
+            for _ in range(max(repeats, 1)):
+                results = spmd_run(
+                    ranks,
+                    _bench_body,
+                    op,
+                    size_bytes,
+                    iterations,
+                    warmup,
+                    compute_units,
+                    backend=backend,
+                    timeout=600.0,
+                )
+                seconds = min(seconds, results[0])
+            moved = size_bytes * iterations
+            points.append(
+                ProcsPoint(
+                    backend=backend,
+                    op=op,
+                    ranks=ranks,
+                    size_bytes=size_bytes,
+                    iterations=iterations,
+                    compute_units=compute_units,
+                    seconds=seconds,
+                    mb_per_s=moved / seconds / 1e6,
+                )
+            )
+    return points
+
+
+def ratios(points: list[ProcsPoint]) -> dict[str, float]:
+    """``process / thread`` throughput ratio per op."""
+    by_key = {(p.backend, p.op): p.mb_per_s for p in points}
+    out: dict[str, float] = {}
+    for op in sorted({p.op for p in points}):
+        thread = by_key.get(("thread", op))
+        process = by_key.get(("process", op))
+        if thread and process:
+            out[op] = process / thread
+    return out
+
+
+def points_as_dicts(points: list[ProcsPoint]) -> list[dict]:
+    """The points as JSON-ready dicts."""
+    return [asdict(p) for p in points]
+
+
+def format_procs(points: list[ProcsPoint]) -> str:
+    """Render the comparison as a fixed-width table."""
+    info = host_info()
+    lines = [
+        "RTS backend comparison (GIL-holding compute + collectives)",
+        f"host: {info['cpu_count']} cpu(s), "
+        f"affinity {info['sched_affinity']}",
+        f"{'backend':<9} {'op':<8} {'ranks':>5} {'size':>8} "
+        f"{'MB/s':>9} {'s/loop':>8}",
+    ]
+    for p in points:
+        size = (
+            f"{p.size_bytes >> 10}KiB"
+            if p.size_bytes < 1 << 20
+            else f"{p.size_bytes >> 20}MiB"
+        )
+        lines.append(
+            f"{p.backend:<9} {p.op:<8} {p.ranks:>5} {size:>8} "
+            f"{p.mb_per_s:>9.1f} {p.seconds:>8.3f}"
+        )
+    for op, ratio in ratios(points).items():
+        lines.append(f"ratio {op}: process/thread = {ratio:.2f}x")
+    return "\n".join(lines)

@@ -62,6 +62,8 @@ class WirepathPoint:
     copy_events: int
     #: bytes_copied / (2 * size_bytes * iterations).
     copies_per_payload_byte: float
+    #: RTS backend the client ran on (``thread`` or ``process``).
+    rts: str = "thread"
 
 
 def _compiled_idl() -> Any:
@@ -85,6 +87,7 @@ def _measure(
     size_bytes: int,
     iterations: int,
     warmup: int,
+    rts: str = "thread",
 ) -> WirepathPoint:
     n = max(size_bytes // 8, 1)
     arr = np.arange(n, dtype=np.float64)
@@ -109,6 +112,7 @@ def _measure(
         bytes_copied=bytes_copied,
         copy_events=copy_events,
         copies_per_payload_byte=bytes_copied / moved,
+        rts=rts,
     )
 
 
@@ -117,12 +121,28 @@ def run_wirepath(
     sizes: list[int] | None = None,
     iterations: int = 5,
     warmup: int = 1,
+    rts_backend: str = "thread",
 ) -> list[WirepathPoint]:
-    """Run the sweep on one fabric and return the measured points."""
+    """Run the sweep on one fabric and return the measured points.
+
+    ``rts_backend="process"`` runs the *client* as a forked
+    process-backend rank talking to the server over TCP (socket
+    fabric only): a true two-process measurement, with copy
+    accounting done inside the client process.
+    """
     from repro import ORB
 
     idl = _compiled_idl()
     sizes = sizes or DEFAULT_SIZES
+    if rts_backend not in ("thread", "process"):
+        raise ValueError(f"unknown RTS backend {rts_backend!r}")
+    if rts_backend == "process":
+        if fabric != "socket":
+            raise ValueError(
+                "rts_backend='process' needs fabric='socket': the "
+                "in-process fabric cannot span OS processes"
+            )
+        return _run_wirepath_process(idl, sizes, iterations, warmup)
     points: list[WirepathPoint] = []
     if fabric == "inproc":
         with ORB("wirepath") as orb:
@@ -169,6 +189,66 @@ def run_wirepath(
     else:
         raise ValueError(f"unknown fabric {fabric!r}")
     return points
+
+
+def _run_wirepath_process(
+    idl: Any,
+    sizes: list[int],
+    iterations: int,
+    warmup: int,
+) -> list[WirepathPoint]:
+    """Socket sweep with the client in a forked process rank."""
+    from repro import ORB
+    from repro.orb.socketnet import (
+        NamingServer,
+        RemoteNamingClient,
+        SocketFabric,
+    )
+    from repro.rts import spawn_spmd
+
+    with NamingServer() as names, \
+            SocketFabric("wirepath-server") as server_fabric:
+        host, port = names.host, names.tcp_port
+        server_orb = ORB(
+            "wirepath-server",
+            fabric=server_fabric,
+            naming=RemoteNamingClient(host, port),
+        )
+        with server_orb:
+            server_orb.serve(
+                "wireecho", _make_servant_factory(idl), nthreads=1
+            )
+
+            def client_body(ctx: Any) -> list[WirepathPoint]:
+                with SocketFabric("wirepath-client") as client_fabric:
+                    client_orb = ORB(
+                        "wirepath-client",
+                        fabric=client_fabric,
+                        naming=RemoteNamingClient(host, port),
+                    )
+                    with client_orb:
+                        runtime = client_orb.client_runtime(
+                            label="wirepath-client"
+                        )
+                        try:
+                            proxy = idl.wireecho._bind(
+                                "wireecho", runtime
+                            )
+                            return [
+                                _measure(
+                                    proxy, idl, "socket", size,
+                                    iterations, warmup, rts="process",
+                                )
+                                for size in sizes
+                            ]
+                        finally:
+                            runtime.close()
+
+            handle = spawn_spmd(
+                client_body, 1, backend="process", name="wirepath"
+            )
+            (points,) = handle.join(None)
+            return points
 
 
 def points_as_dicts(points: list[WirepathPoint]) -> list[dict]:

@@ -27,6 +27,7 @@ from repro.orb.naming import NamingService
 from repro.orb.proxy import ClientRuntime
 from repro.orb.transfer import Tracer
 from repro.orb.transport import Fabric
+from repro.rts import backends as rts_backends
 from repro.rts.executor import SpmdExecutor
 from repro.rts.mpi import Intracomm
 from repro.trace import TraceRecorder
@@ -256,7 +257,7 @@ class ORB:
             finally:
                 runtime.close()
 
-        return SpmdExecutor(nthreads, name=name).run(
+        return SpmdExecutor(nthreads, name=name, backend="thread").run(
             body, timeout=timeout
         )
 
@@ -273,7 +274,9 @@ class ORB:
         summed over this ORB's runtimes), ``reply_caches``
         (server-side dedup counters per activated group), ``san``
         (the :mod:`repro.san` sanitizer's counters and findings —
-        see ``docs/sanitizer.md``), and — when
+        see ``docs/sanitizer.md``), ``rts`` (the RTS execution
+        context — backend name, rank, size — plus shared-memory
+        segment counters from the process backend's pool), and — when
         tracing is on — ``trace`` (recorder occupancy plus the
         counters/histograms of the :mod:`repro.trace` metrics
         registry).  See ``docs/observability.md`` for the full schema.
@@ -315,6 +318,10 @@ class ORB:
             # findings); {"enabled": False, ...} when the sanitizer
             # is off.
             "san": san.stats(),
+            # RTS execution context (backend name, rank, size) plus
+            # shared-memory segment accounting for the process
+            # backend's data plane.
+            "rts": rts_backends.rts_stats(),
         }
         if self.trace is not None:
             snapshot["trace"] = {
@@ -371,7 +378,7 @@ class SpmdClientGroup:
         self.orb = orb
         self.nthreads = nthreads
         self.name = name
-        self._executor = SpmdExecutor(nthreads, name=name)
+        self._executor = SpmdExecutor(nthreads, name=name, backend="thread")
 
     def run(
         self,

@@ -1146,7 +1146,9 @@ class ServantGroup:
         #: a half-delivered request frees its dispatch slot after this
         #: long instead of pinning it for the default minute.
         self.request_timeout = request_timeout
-        self._executor = SpmdExecutor(nthreads, name=f"server:{name}")
+        self._executor = SpmdExecutor(
+            nthreads, name=f"server:{name}", backend="thread"
+        )
         self._handle: SpmdHandle | None = None
         self._request_port: Port | None = None
         self._data_ports: list[Port] = []

@@ -61,8 +61,20 @@ def make_rts(style: str, comm: Intracomm) -> RuntimeSystem:
     ``"message-passing"`` is the paper's implemented interface;
     ``"one-sided"`` the alternative it plans (§2.3), built on RMA
     windows.  Both satisfy the same contract, so the transfer engines
-    are oblivious to the choice.
+    are oblivious to the choice.  A process-backend
+    :class:`~repro.rts.procs.ProcComm` always gets the shared-memory
+    :class:`~repro.rts.procs.ProcessRTS` data plane, whatever the
+    style — one-sided windows presume thread-shared address space.
     """
+    from repro.rts.procs import ProcComm, ProcessRTS
+
+    if isinstance(comm, ProcComm):
+        if style not in ("message-passing", "one-sided"):
+            raise ValueError(
+                f"unknown RTS style {style!r}; expected "
+                f"'message-passing' or 'one-sided'"
+            )
+        return ProcessRTS(comm)
     if style == "message-passing":
         return MessagePassingRTS(comm)
     if style == "one-sided":

@@ -20,8 +20,15 @@ This subpackage provides:
   generated stubs program against, and its message-passing realization.
 - :mod:`repro.rts.onesided` — the one-sided (put/get window) RTS
   interface the paper lists as future work.
+- :mod:`repro.rts.backends` — backend selection (``PARDIS_RTS``) and
+  per-rank execution-context tracking.
+- :mod:`repro.rts.procs` — the true-parallel backend: ranks as forked
+  processes, large payloads through pooled shared-memory segments.
+- :mod:`repro.rts.shm` — the pooled, refcounted shared-memory
+  segments underneath the process backend's data plane.
 """
 
+from repro.rts import backends
 from repro.rts.mpi import (
     ANY_SOURCE,
     ANY_TAG,
@@ -36,10 +43,51 @@ from repro.rts.mpi import (
     SUM,
     create_group,
 )
-from repro.rts.executor import RankContext, SpmdExecutor, SpmdHandle, spmd_run
+from repro.rts.executor import (
+    RankContext,
+    SpmdExecutor,
+    SpmdHandle,
+    spawn_spmd,
+    spmd_run,
+)
 from repro.rts.futures import Future, FutureError
 from repro.rts.interface import MessagePassingRTS, RuntimeSystem
 from repro.rts.onesided import OneSidedRTS, Window, WindowError
+from repro.rts.procs import (
+    ProcComm,
+    ProcessRTS,
+    ProcHandle,
+    process_backend_supported,
+    spawn_process_group,
+)
+
+
+def rts_for(comm, style: str = "message-passing") -> RuntimeSystem:
+    """The right :class:`RuntimeSystem` for ``comm``, whatever backend.
+
+    A :class:`~repro.rts.procs.ProcComm` gets the shared-memory
+    :class:`~repro.rts.procs.ProcessRTS`; a thread
+    :class:`~repro.rts.mpi.Intracomm` gets the ``style``-selected
+    realization (``"message-passing"`` or ``"one-sided"``, the same
+    vocabulary as ``ORB.init(rts_style=...)``).
+    """
+    if isinstance(comm, ProcComm):
+        if style == "one-sided":
+            raise ValueError(
+                "the one-sided RTS is thread-backend only; the process "
+                "backend's shm data plane already provides direct "
+                "memory placement"
+            )
+        return ProcessRTS(comm)
+    if style == "one-sided":
+        return OneSidedRTS(comm)
+    if style != "message-passing":
+        raise ValueError(
+            f"unknown RTS style {style!r}; expected 'message-passing' "
+            f"or 'one-sided'"
+        )
+    return MessagePassingRTS(comm)
+
 
 __all__ = [
     "ANY_SOURCE",
@@ -55,6 +103,9 @@ __all__ = [
     "MessagePassingRTS",
     "OneSidedRTS",
     "PROD",
+    "ProcComm",
+    "ProcHandle",
+    "ProcessRTS",
     "RankContext",
     "Window",
     "WindowError",
@@ -63,6 +114,11 @@ __all__ = [
     "SUM",
     "SpmdExecutor",
     "SpmdHandle",
+    "backends",
     "create_group",
+    "process_backend_supported",
+    "rts_for",
+    "spawn_process_group",
+    "spawn_spmd",
     "spmd_run",
 ]

@@ -1,10 +1,17 @@
-"""SPMD execution: run a function over ``n`` ranks, one thread each.
+"""SPMD execution: run a function over ``n`` ranks.
 
 The paper's computing threads — "a collaboration of computing threads,
 each of which is working on a similar task" — map to Python threads
 here.  :func:`spmd_run` is the fork-join entry point used by examples
 and tests; :class:`SpmdExecutor` additionally supports detached groups
 (an SPMD *server* keeps running its dispatch loop until shut down).
+
+Since PR 7 a group can also run with every rank an OS *process*
+(:mod:`repro.rts.procs`), which is what unlocks multi-core compute.
+The ``backend`` argument — or the ``PARDIS_RTS`` environment variable,
+see :mod:`repro.rts.backends` — selects per launch; the spawned
+handle's surface (``join``/``abort``/``alive``) is identical either
+way, so callers need not care which they got.
 
 Error containment: when any rank raises, the group is aborted so peers
 blocked in sends/receives/collectives fail fast with
@@ -18,6 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.rts import backends
 from repro.rts.mpi import GroupAbortedError, Intracomm, create_group
 
 
@@ -104,20 +112,33 @@ class SpmdHandle:
 
 
 class SpmdExecutor:
-    """Factory for SPMD thread groups of a fixed size."""
+    """Factory for SPMD groups of a fixed size.
 
-    def __init__(self, nranks: int, name: str = "spmd") -> None:
+    ``backend`` may be ``"thread"``, ``"process"``, or None (consult
+    ``PARDIS_RTS``, default thread).  Process groups are spawned via
+    :func:`repro.rts.procs.spawn_process_group` and return a
+    :class:`repro.rts.procs.ProcHandle`, whose join/abort surface
+    matches :class:`SpmdHandle`.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        name: str = "spmd",
+        backend: str | None = None,
+    ) -> None:
         if nranks <= 0:
             raise ValueError("an SPMD group needs at least one rank")
         self.nranks = nranks
         self.name = name
+        self.backend = backend
 
     def spawn(
         self,
         fn: Callable[..., Any],
         *args: Any,
         rank_args: Sequence[Sequence[Any]] | None = None,
-    ) -> SpmdHandle:
+    ):
         """Start ``fn(ctx, *args)`` on every rank; return immediately.
 
         ``rank_args`` optionally appends per-rank positional arguments
@@ -127,6 +148,16 @@ class SpmdExecutor:
             raise ValueError(
                 f"rank_args must have exactly {self.nranks} entries"
             )
+        if backends.resolve_backend(self.backend) == backends.PROCESS:
+            from repro.rts.procs import spawn_process_group
+
+            return spawn_process_group(
+                fn,
+                self.nranks,
+                *args,
+                name=self.name,
+                rank_args=rank_args,
+            )
         comms = create_group(self.nranks, self.name)
         results: list[Any] = [None] * self.nranks
         failures: dict[int, BaseException] = {}
@@ -135,6 +166,7 @@ class SpmdExecutor:
         def body(rank: int) -> None:
             ctx = RankContext(rank=rank, size=self.nranks, comm=comms[rank])
             extra = tuple(rank_args[rank]) if rank_args is not None else ()
+            backends.set_thread_context(rank, self.nranks)
             try:
                 results[rank] = fn(ctx, *args, *extra)
             except BaseException as exc:  # noqa: BLE001 - reported via join
@@ -144,6 +176,8 @@ class SpmdExecutor:
                     comms[rank].abort(
                         f"rank {rank} raised {type(exc).__name__}: {exc}"
                     )
+            finally:
+                backends.clear_thread_context()
 
         threads = [
             threading.Thread(
@@ -175,6 +209,7 @@ def spmd_run(
     *args: Any,
     name: str = "spmd",
     timeout: float | None = 120.0,
+    backend: str | None = None,
 ) -> list[Any]:
     """Run ``fn(ctx, *args)`` over ``nranks`` ranks and join.
 
@@ -185,4 +220,26 @@ def spmd_run(
 
         totals = spmd_run(4, body)   # [6, 6, 6, 6]
     """
-    return SpmdExecutor(nranks, name).run(fn, *args, timeout=timeout)
+    return SpmdExecutor(nranks, name, backend=backend).run(
+        fn, *args, timeout=timeout
+    )
+
+
+def spawn_spmd(
+    fn: Callable[..., Any],
+    size: int,
+    *args: Any,
+    backend: str | None = None,
+    name: str = "spmd",
+    rank_args: Sequence[Sequence[Any]] | None = None,
+):
+    """Launch a detached SPMD group on the chosen backend.
+
+    The ISSUE-7 launcher: ``spawn_spmd(fn, 4, backend="process")``
+    starts four forked rank processes and returns a handle;
+    ``backend=None`` consults ``PARDIS_RTS`` and defaults to threads.
+    ``handle.join()`` returns per-rank results in rank order.
+    """
+    return SpmdExecutor(size, name, backend=backend).spawn(
+        fn, *args, rank_args=rank_args
+    )

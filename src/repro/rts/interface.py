@@ -33,6 +33,10 @@ _TAG_RTS = 1 << 21
 class RuntimeSystem(ABC):
     """What PARDIS needs from the application's run-time system."""
 
+    #: Which execution substrate carries this RTS's ranks
+    #: (``"thread"`` or ``"process"``); the process backend overrides.
+    backend = "thread"
+
     @property
     @abstractmethod
     def rank(self) -> int:

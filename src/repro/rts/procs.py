@@ -1,0 +1,1090 @@
+"""True-parallel SPMD: ranks as OS processes, shm data plane.
+
+The thread backend (:mod:`repro.rts.mpi`) gives PARDIS concurrency but
+not compute — every rank shares one GIL, so the zero-copy wire path
+and pipelining scale overlap, never cores.  This module is the other
+half of ROADMAP item 1: the same SPMD contract with every rank a
+forked OS process, mirroring the paper's MPI-processes-on-SGI-nodes
+testbed.
+
+Three planes:
+
+- **Control** — a full mesh of OS pipes carries tagged, pickled
+  messages (:class:`ProcComm`, the mpi4py-style communicator).
+  Collectives rendezvous through rank 0, which detects mismatched
+  collective names exactly like the thread backend.
+- **Data** — payloads at or above :data:`repro.rts.shm.SHM_THRESHOLD`
+  never cross a pipe: the sender writes them into a shared-memory
+  segment and ships a descriptor; :class:`ProcessRTS` goes further
+  and has every rank write its gather/scatter chunks *directly* into
+  one pooled segment, in parallel, with the root handing out a
+  zero-copy leased view.
+- **Supervision** — the parent keeps a registry of every segment name
+  any rank announces, and sweeps (unlinks) whatever is still
+  registered when the group ends, so even a SIGKILLed rank leaks
+  nothing into ``/dev/shm``.
+
+Ranks are created with the ``fork`` start method, so rank bodies may
+be closures and lambdas, exactly like the thread backend; only rank
+*results* (and raised exceptions) must be picklable, since they
+travel back to the parent over a pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from multiprocessing import connection as mpconn
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.rts import backends, shm
+from repro.rts.interface import RuntimeSystem
+from repro.rts.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DEFAULT_TIMEOUT,
+    SUM,
+    CollectiveMismatchError,
+    DeadlockError,
+    GroupAbortedError,
+    Request,
+    _isolate,
+    _ReduceOp,
+)
+
+#: How often blocked operations re-check the abort flag (seconds).
+_POLL = 0.02
+
+#: Envelope channels: application point-to-point, collective
+#: contributions (to rank 0), and collective results (from rank 0).
+_CH_P2P, _CH_COLL, _CH_COLLRES = 0, 1, 2
+
+
+class RankDiedError(RuntimeError):
+    """A rank process exited without reporting a result."""
+
+
+def process_backend_supported() -> bool:
+    """Fork-based process groups need a platform with ``fork``."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Per-process group state
+# ---------------------------------------------------------------------------
+
+
+class _Pending:
+    """One buffered, not-yet-matched incoming message."""
+
+    __slots__ = ("src", "tag", "kind", "data")
+
+    def __init__(self, src: int, tag: int, kind: str, data: Any) -> None:
+        self.src = src
+        self.tag = tag
+        self.kind = kind
+        self.data = data
+
+
+class _RankState:
+    """Everything one rank process knows about its group."""
+
+    def __init__(
+        self,
+        name: str,
+        rank: int,
+        size: int,
+        readers: dict[int, Any],
+        writers: dict[int, Any],
+        up: Any,
+        abort_event: Any,
+    ) -> None:
+        self.name = name
+        self.rank = rank
+        self.size = size
+        self.readers = readers
+        self.writers = writers
+        self.up = up
+        self.abort_event = abort_event
+        #: Buffered messages keyed by (ctx, channel).
+        self.pending: dict[tuple[int, int], list[_Pending]] = {}
+        #: Context ids: 0 is the base comm; rank 0 allocates for dup.
+        self.next_ctx = 1
+        self.pool = shm.ShmPool(
+            on_register=lambda n: self._up_send(("reg", n)),
+            on_unregister=lambda n: self._up_send(("unreg", n)),
+        )
+        self.attach_cache: dict[str, Any] = {}
+        self._closed = False
+
+    # -- supervisor link ---------------------------------------------------
+
+    def _up_send(self, message: tuple) -> None:
+        try:
+            self.up.send(message)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def register_oneshot(self, name: str) -> None:
+        self._up_send(("reg", name))
+
+    def unregister_oneshot(self, name: str) -> None:
+        self._up_send(("unreg", name))
+
+    # -- payload encode / decode ------------------------------------------
+
+    def encode(self, payload: Any) -> tuple[str, Any]:
+        """Choose the wire form: inline pickle or shm descriptor."""
+        if (
+            isinstance(payload, np.ndarray)
+            and payload.nbytes >= shm.SHM_THRESHOLD
+        ):
+            arr = np.ascontiguousarray(payload)
+            seg = self._oneshot_segment(arr.nbytes)
+            np.ndarray(arr.shape, arr.dtype, buffer=seg.buf)[...] = arr
+            desc = (seg.name, arr.dtype, arr.shape)
+            seg.close()
+            return "nd_shm", desc
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(blob) >= shm.SHM_THRESHOLD:
+            seg = self._oneshot_segment(len(blob))
+            seg.buf[: len(blob)] = blob
+            desc = (seg.name, len(blob))
+            seg.close()
+            return "pickle_shm", desc
+        return "inline", blob
+
+    def _oneshot_segment(self, nbytes: int) -> Any:
+        """A single-message segment; the *receiver* unlinks it."""
+        name = f"{shm.NAME_PREFIX}_{os.getpid()}_p2p_{time.monotonic_ns():x}"
+        self.register_oneshot(name)
+        try:
+            seg = multiprocessing.shared_memory.SharedMemory(  # type: ignore[attr-defined]
+                name=name, create=True, size=max(nbytes, 1)
+            )
+        except (FileExistsError, AttributeError):
+            seg = shm.create_segment(nbytes)
+            self.register_oneshot(seg.name)
+        else:
+            shm.untrack(seg)
+        return seg
+
+    def decode(self, kind: str, data: Any) -> Any:
+        if kind == "inline":
+            return pickle.loads(data)
+        if kind == "isolated":
+            return data
+        if kind == "nd_shm":
+            name, dtype, shape = data
+            seg = shm.attach_segment(name)
+            arr = np.ndarray(shape, dtype, buffer=seg.buf).copy()
+            self._consume_oneshot(seg, name)
+            return arr
+        if kind == "pickle_shm":
+            name, nbytes = data
+            seg = shm.attach_segment(name)
+            blob = bytes(seg.buf[:nbytes])
+            self._consume_oneshot(seg, name)
+            return pickle.loads(blob)
+        raise RuntimeError(f"unknown payload kind {kind!r}")
+
+    def _consume_oneshot(self, seg: Any, name: str) -> None:
+        shm.unlink_segment(seg)
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        self.unregister_oneshot(name)
+
+    # -- transport ---------------------------------------------------------
+
+    def check_alive(self) -> None:
+        if self.abort_event.is_set():
+            raise GroupAbortedError(f"group '{self.name}' aborted")
+
+    def send_raw(
+        self, dst: int, ctx: int, channel: int, tag: int, payload: Any
+    ) -> None:
+        self.check_alive()
+        if dst == self.rank:
+            entry = _Pending(self.rank, tag, "isolated", _isolate(payload))
+            self.pending.setdefault((ctx, channel), []).append(entry)
+            return
+        kind, data = self.encode(payload)
+        try:
+            self.writers[dst].send((ctx, channel, tag, self.rank, kind, data))
+        except (BrokenPipeError, OSError) as exc:
+            raise GroupAbortedError(
+                f"group '{self.name}': rank {dst} is gone ({exc})"
+            ) from None
+
+    def drain(self, timeout: float) -> None:
+        """Pull every ready incoming message into the pending queues."""
+        conns = list(self.readers.values())
+        if not conns:
+            time.sleep(min(timeout, _POLL))
+            return
+        for conn in mpconn.wait(conns, timeout):
+            try:
+                ctx, channel, tag, src, kind, data = conn.recv()
+            except (EOFError, OSError):
+                for peer, reader in list(self.readers.items()):
+                    if reader is conn:
+                        del self.readers[peer]
+                continue
+            self.pending.setdefault((ctx, channel), []).append(
+                _Pending(src, tag, kind, data)
+            )
+
+    def match(
+        self, ctx: int, channel: int, source: int, tag: int
+    ) -> _Pending | None:
+        box = self.pending.get((ctx, channel))
+        if not box:
+            return None
+        for i, entry in enumerate(box):
+            if source not in (ANY_SOURCE, entry.src):
+                continue
+            if tag not in (ANY_TAG, entry.tag):
+                continue
+            return box.pop(i)
+        return None
+
+    def recv_match(
+        self,
+        ctx: int,
+        channel: int,
+        source: int,
+        tag: int,
+        timeout: float | None,
+        what: str,
+    ) -> _Pending:
+        deadline = time.monotonic() + (
+            DEFAULT_TIMEOUT if timeout is None else timeout
+        )
+        while True:
+            self.check_alive()
+            entry = self.match(ctx, channel, source, tag)
+            if entry is not None:
+                return entry
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self.rank} of '{self.name}': {what} timed out"
+                )
+            self.drain(min(_POLL, remaining))
+
+    # -- shm attachments ---------------------------------------------------
+
+    def attach_cached(self, name: str) -> Any:
+        seg = self.attach_cache.get(name)
+        if seg is None:
+            seg = shm.attach_segment(name)
+            self.attach_cache[name] = seg
+        return seg
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        stats = self.pool.stats()
+        self.pool.close()
+        for seg in self.attach_cache.values():
+            try:
+                seg.close()
+            except BufferError:
+                pass
+        self.attach_cache.clear()
+        self._up_send(("shmstats", stats))
+
+
+# ---------------------------------------------------------------------------
+# The communicator
+# ---------------------------------------------------------------------------
+
+
+class ProcComm:
+    """mpi4py-style communicator over a process group.
+
+    The surface mirrors :class:`repro.rts.mpi.Intracomm` — tagged
+    point-to-point with wildcards, non-blocking variants, the NumPy
+    ``Send``/``Recv`` pair, the collective set, and ``dup`` — so the
+    ORB, distributed sequences, and applications written against the
+    thread backend run unmodified.  ``dup`` multiplexes a fresh
+    context id onto the same pipe mesh (traffic on the duplicate can
+    never match traffic here), since new pipes cannot be created
+    between already-running processes.
+    """
+
+    def __init__(
+        self, state: _RankState, ctx: int = 0, name: str | None = None
+    ) -> None:
+        self._state = state
+        self._ctx = ctx
+        self._name = name or (
+            state.name if ctx == 0 else f"{state.name}:ctx{ctx}"
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._state.rank
+
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcComm '{self._name}' rank {self.rank} of {self.size}>"
+        )
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} outside group")
+        if tag < 0:
+            raise ValueError("send tag must be non-negative")
+        self._state.send_raw(dest, self._ctx, _CH_P2P, tag, obj)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request(completed=True)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        status: dict | None = None,
+    ) -> Any:
+        entry = self._state.recv_match(
+            self._ctx,
+            _CH_P2P,
+            source,
+            tag,
+            timeout,
+            f"recv(source={source}, tag={tag})",
+        )
+        if status is not None:
+            status["source"] = entry.src
+            status["tag"] = entry.tag
+        return self._state.decode(entry.kind, entry.data)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        def poll(timeout: float | None) -> Any:
+            return self.recv(source, tag, timeout=timeout)
+
+        def try_poll() -> tuple[bool, Any]:
+            self._state.drain(0)
+            entry = self._state.match(self._ctx, _CH_P2P, source, tag)
+            if entry is None:
+                return False, None
+            return True, self._state.decode(entry.kind, entry.data)
+
+        return Request(completed=False, poll=poll, try_poll=try_poll)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        self._state.check_alive()
+        self._state.drain(0)
+        box = self._state.pending.get((self._ctx, _CH_P2P), [])
+        return any(
+            source in (ANY_SOURCE, e.src) and tag in (ANY_TAG, e.tag)
+            for e in box
+        )
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag, timeout=timeout)
+
+    # -- NumPy buffer fast path -------------------------------------------
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        self.send(np.asarray(array), dest, tag)
+
+    def Recv(
+        self,
+        buffer: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> None:
+        payload = np.asarray(self.recv(source, tag, timeout=timeout))
+        if payload.size > buffer.size:
+            raise ValueError(
+                f"receive buffer holds {buffer.size} elements but the "
+                f"message carries {payload.size}"
+            )
+        flat = buffer.reshape(-1)
+        flat[: payload.size] = payload.reshape(-1)
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective(
+        self,
+        opname: str,
+        contribute: Any,
+        project: Callable[[int, dict[int, Any]], Any] | None = None,
+    ) -> Any:
+        """Rendezvous through rank 0.
+
+        Every rank ships ``(opname, contribution)`` to rank 0, which
+        waits for the full group, verifies all ranks entered the
+        *same* collective, and answers each rank with
+        ``project(rank, board)`` (the full board when ``project`` is
+        None).  Mismatched opnames abort the group and raise
+        :class:`CollectiveMismatchError`, mirroring the thread
+        backend's phased rendezvous.
+        """
+        state = self._state
+        if self.size == 1:
+            board = {0: _isolate(contribute)}
+            return project(0, board) if project else board
+        if state.rank != 0:
+            state.send_raw(
+                0, self._ctx, _CH_COLL, 0, (opname, contribute)
+            )
+            entry = state.recv_match(
+                self._ctx, _CH_COLLRES, 0, ANY_TAG, None,
+                f"collective '{opname}'",
+            )
+            status, result = state.decode(entry.kind, entry.data)
+            if status == "mismatch":
+                raise CollectiveMismatchError(result)
+            return result
+        # Rank 0: coordinator and participant.
+        opnames = {0: opname}
+        board: dict[int, Any] = {0: _isolate(contribute)}
+        for src in range(1, self.size):
+            entry = state.recv_match(
+                self._ctx, _CH_COLL, src, ANY_TAG, None,
+                f"collective '{opname}' waiting for rank {src}",
+            )
+            peer_op, contribution = state.decode(entry.kind, entry.data)
+            opnames[src] = peer_op
+            board[src] = contribution
+        if len(set(opnames.values())) > 1:
+            detail = ", ".join(
+                f"rank {r}: '{opnames[r]}'" for r in sorted(opnames)
+            )
+            mismatch = (
+                f"group '{state.name}' ranks entered different "
+                f"collectives — {detail}"
+            )
+            for dst in range(1, self.size):
+                state.send_raw(
+                    dst, self._ctx, _CH_COLLRES, 0, ("mismatch", mismatch)
+                )
+            state.abort_event.set()
+            raise CollectiveMismatchError(mismatch)
+        for dst in range(1, self.size):
+            result = project(dst, board) if project else board
+            state.send_raw(
+                dst, self._ctx, _CH_COLLRES, 0, ("ok", result)
+            )
+        return project(0, board) if project else board
+
+    def barrier(self) -> None:
+        self._collective("barrier", None, project=lambda d, b: None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        return self._collective(
+            f"bcast@{root}",
+            obj if self.rank == root else None,
+            project=lambda d, b: b[root],
+        )
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_root(root)
+        if self.rank == root and (objs is None or len(objs) != self.size):
+            raise ValueError(
+                f"scatter root must supply exactly {self.size} items"
+            )
+        return self._collective(
+            f"scatter@{root}",
+            list(objs) if self.rank == root else None,
+            project=lambda d, b: b[root][d],
+        )
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_root(root)
+        size = self.size
+        return self._collective(
+            f"gather@{root}",
+            obj,
+            project=lambda d, b: (
+                [b[r] for r in range(size)] if d == root else None
+            ),
+        )
+
+    def allgather(self, obj: Any) -> list[Any]:
+        size = self.size
+        return self._collective(
+            "allgather",
+            obj,
+            project=lambda d, b: [b[r] for r in range(size)],
+        )
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise ValueError(
+                f"alltoall requires exactly {self.size} items per rank"
+            )
+        size = self.size
+        return self._collective(
+            "alltoall",
+            list(objs),
+            project=lambda d, b: [b[r][d] for r in range(size)],
+        )
+
+    def reduce(
+        self, obj: Any, op: _ReduceOp = SUM, root: int = 0
+    ) -> Any | None:
+        self._check_root(root)
+        memo: list[Any] = []
+
+        def project(dst: int, board: dict[int, Any]) -> Any:
+            if dst != root:
+                return None
+            if not memo:
+                memo.append(self._fold(board, op))
+            return memo[0]
+
+        return self._collective(f"reduce@{root}:{op.name}", obj, project)
+
+    def allreduce(self, obj: Any, op: _ReduceOp = SUM) -> Any:
+        memo: list[Any] = []
+
+        def project(dst: int, board: dict[int, Any]) -> Any:
+            if not memo:
+                memo.append(self._fold(board, op))
+            return memo[0]
+
+        return self._collective(f"allreduce:{op.name}", obj, project)
+
+    def _fold(self, board: dict[int, Any], op: _ReduceOp) -> Any:
+        result = board[0]
+        for r in range(1, self.size):
+            result = op(result, board[r])
+        return result
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root rank {root} outside group")
+
+    def dup(self, name: str | None = None) -> "ProcComm":
+        """Collective: a fresh context over the same ranks."""
+        state = self._state
+        fresh = None
+        if state.rank == 0:
+            fresh = state.next_ctx
+            state.next_ctx += 1
+        ctx = self._collective("dup", fresh, project=lambda d, b: b[0])
+        return ProcComm(state, ctx, name or f"{self._name}:dup")
+
+    # -- control -----------------------------------------------------------
+
+    def abort(self, reason: str = "application abort") -> None:
+        self._state.abort_event.set()
+
+
+# ---------------------------------------------------------------------------
+# The shared-memory RTS data plane
+# ---------------------------------------------------------------------------
+
+
+class ProcessRTS(RuntimeSystem):
+    """The RuntimeSystem contract over a process group's shm plane.
+
+    Gathers and scatters never serialize payload bytes: the root
+    checks a pooled segment out, broadcasts its name, and every rank
+    moves exactly its schedule slices between its local block and the
+    segment — concurrently, in different processes, on different
+    cores.  With ``out=None`` the root's gather result is a zero-copy
+    leased view of the segment itself.
+    """
+
+    backend = backends.PROCESS
+
+    def __init__(self, comm: ProcComm) -> None:
+        if not isinstance(comm, ProcComm):
+            raise TypeError("ProcessRTS requires a ProcComm")
+        self._comm = comm
+        self._state = comm._state
+
+    @property
+    def comm(self) -> ProcComm:
+        return self._comm
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    def synchronize(self) -> None:
+        self._comm.barrier()
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._comm.allgather(obj)
+
+    def broadcast(self, obj: Any, root: int) -> Any:
+        """Large ndarrays fan out through one segment, read in
+        parallel; everything else rides the control plane."""
+        comm, state = self._comm, self._state
+        if comm.size == 1:
+            return _isolate(obj)
+        if comm.rank == root:
+            if (
+                isinstance(obj, np.ndarray)
+                and obj.nbytes >= shm.SHM_THRESHOLD
+            ):
+                arr = np.ascontiguousarray(obj)
+                seg = state.pool.acquire(arr.nbytes)
+                np.ndarray(arr.shape, arr.dtype, buffer=seg.buf)[...] = arr
+                comm.bcast(("shm", seg.name, arr.dtype, arr.shape), root)
+                comm.barrier()
+                state.pool.release(seg)
+                return obj
+            comm.bcast(("inline", obj), root)
+            return obj
+        desc = comm.bcast(None, root)
+        if desc[0] == "inline":
+            return desc[1]
+        _, name, dtype, shape = desc
+        seg = state.attach_cached(name)
+        arr = np.ndarray(shape, dtype, buffer=seg.buf).copy()
+        comm.barrier()
+        return arr
+
+    def gather_chunks(
+        self,
+        local: np.ndarray,
+        steps: list,
+        root: int,
+        out: np.ndarray | None,
+    ) -> np.ndarray | None:
+        comm, state = self._comm, self._state
+        me = comm.rank
+        total = steps[-1].global_hi if steps else 0
+        if total == 0 or comm.size == 1:
+            if me != root:
+                return None
+            if out is None:
+                out = np.zeros(total, dtype=local.dtype)
+            for step in steps:
+                out[step.global_lo : step.global_hi] = local[step.src_slice]
+            return out
+        mine = [s for s in steps if s.src_rank == me]
+        if me == root:
+            dtype = local.dtype
+            seg = state.pool.acquire(total * dtype.itemsize)
+            view = np.ndarray((total,), dtype, buffer=seg.buf)
+            comm.bcast((seg.name, dtype, total), root)
+            for step in mine:
+                view[step.global_lo : step.global_hi] = local[step.src_slice]
+            comm.barrier()
+            if out is not None:
+                out[:total] = view
+                state.pool.release(seg)
+                return out
+            return shm.leased_view(view, state.pool.lease(seg))
+        name, dtype, total = comm.bcast(None, root)
+        seg = state.attach_cached(name)
+        view = np.ndarray((total,), dtype, buffer=seg.buf)
+        for step in mine:
+            view[step.global_lo : step.global_hi] = local[step.src_slice]
+        comm.barrier()
+        return None
+
+    def scatter_chunks(
+        self,
+        full: np.ndarray | None,
+        steps: list,
+        root: int,
+        out: np.ndarray,
+    ) -> None:
+        comm, state = self._comm, self._state
+        me = comm.rank
+        total = steps[-1].global_hi if steps else 0
+        if total == 0 or comm.size == 1:
+            if me == root:
+                assert full is not None
+                for step in steps:
+                    if step.dst_rank == me:
+                        out[step.dst_slice] = full[
+                            step.global_lo : step.global_hi
+                        ]
+            return
+        mine = [s for s in steps if s.dst_rank == me]
+        if me == root:
+            assert full is not None
+            arr = np.ascontiguousarray(full[:total])
+            seg = state.pool.acquire(arr.nbytes)
+            view = np.ndarray((total,), arr.dtype, buffer=seg.buf)
+            view[:] = arr
+            comm.bcast((seg.name, arr.dtype, total), root)
+            for step in mine:
+                out[step.dst_slice] = full[step.global_lo : step.global_hi]
+            comm.barrier()
+            state.pool.release(seg)
+            return
+        name, dtype, total = comm.bcast(None, root)
+        seg = state.attach_cached(name)
+        view = np.ndarray((total,), dtype, buffer=seg.buf)
+        for step in mine:
+            out[step.dst_slice] = view[step.global_lo : step.global_hi]
+        comm.barrier()
+
+
+# ---------------------------------------------------------------------------
+# Spawning and supervision
+# ---------------------------------------------------------------------------
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _child_main(
+    rank: int,
+    size: int,
+    name: str,
+    fn: Callable[..., Any],
+    args: tuple,
+    extra: tuple,
+    pipes: list[list[Any]],
+    up_pairs: list[Any],
+    abort_event: Any,
+) -> None:
+    # Keep only this rank's pipe ends; close the inherited rest.
+    readers: dict[int, Any] = {}
+    writers: dict[int, Any] = {}
+    for src in range(size):
+        for dst in range(size):
+            if src == dst:
+                continue
+            r_end, w_end = pipes[src][dst]
+            if dst == rank:
+                readers[src] = r_end
+            else:
+                r_end.close()
+            if src == rank:
+                writers[dst] = w_end
+            else:
+                w_end.close()
+    for r, (r_end, w_end) in enumerate(up_pairs):
+        r_end.close()
+        if r != rank:
+            w_end.close()
+    up = up_pairs[rank][1]
+    backends.set_process_context(rank, size)
+    state = _RankState(
+        name, rank, size, readers, writers, up, abort_event
+    )
+    from repro.rts.executor import RankContext
+
+    comm = ProcComm(state, 0, name)
+    status: tuple
+    try:
+        result = fn(
+            RankContext(rank=rank, size=size, comm=comm), *args, *extra
+        )
+        status = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - reported via join
+        if not isinstance(exc, GroupAbortedError):
+            abort_event.set()
+        status = ("err", _picklable_exception(exc))
+    state.close()
+    try:
+        up.send(("result",) + status)
+    except Exception:
+        try:
+            up.send(
+                (
+                    "result",
+                    "err",
+                    RuntimeError(
+                        f"rank {rank} result could not be pickled"
+                    ),
+                )
+            )
+        except Exception:
+            pass
+    up.close()
+
+
+class ProcHandle:
+    """A running (possibly detached) process SPMD group.
+
+    The parent-side mirror of :class:`repro.rts.executor.SpmdHandle`:
+    ``join`` returns per-rank results in rank order or raises
+    :class:`~repro.rts.executor.SpmdError`; ``abort`` releases blocked
+    ranks.  Additionally supervises shared memory: every segment name
+    a rank announces is swept (unlinked) when the group ends, however
+    it ends — including a rank killed outright.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        procs: list[Any],
+        up_conns: list[Any],
+        abort_event: Any,
+    ) -> None:
+        self._name = name
+        self._procs = procs
+        self._up = up_conns
+        self._abort_event = abort_event
+        self._results: dict[int, Any] = {}
+        self._failures: dict[int, BaseException] = {}
+        self._segments: set[str] = set()
+        self._shm_stats: dict[str, int] = {}
+        self._done = False
+        import weakref
+
+        self._sweeper = weakref.finalize(
+            self, _emergency_cleanup, procs, list(self._segments)
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self._procs)
+
+    @property
+    def pids(self) -> list[int]:
+        return [p.pid for p in self._procs]
+
+    def alive(self) -> bool:
+        return any(p.is_alive() for p in self._procs)
+
+    def abort(self, reason: str = "aborted by caller") -> None:
+        self._abort_event.set()
+
+    def kill_rank(self, rank: int) -> None:
+        """SIGKILL one rank (fault-injection support; no cleanup runs
+        in the child — the parent sweep must cover it)."""
+        self._procs[rank].kill()
+
+    # -- supervision -------------------------------------------------------
+
+    def _handle_message(self, rank: int, message: tuple) -> None:
+        kind = message[0]
+        if kind == "reg":
+            self._segments.add(message[1])
+        elif kind == "unreg":
+            self._segments.discard(message[1])
+        elif kind == "shmstats":
+            shm.merge_retired_stats(message[1])
+            for key, value in message[1].items():
+                self._shm_stats[key] = (
+                    self._shm_stats.get(key, 0) + int(value)
+                )
+        elif kind == "result":
+            _, status, payload = message
+            if status == "ok":
+                self._results[rank] = payload
+            else:
+                self._failures[rank] = payload
+
+    def _drain(self, timeout: float) -> None:
+        pending = [
+            (r, conn)
+            for r, conn in enumerate(self._up)
+            if conn is not None
+        ]
+        if not pending:
+            time.sleep(min(timeout, _POLL))
+            return
+        ready = mpconn.wait([conn for _, conn in pending], timeout)
+        for rank, conn in pending:
+            if conn not in ready:
+                continue
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._up[rank] = None
+                    break
+                self._handle_message(rank, message)
+
+    def _reported(self, rank: int) -> bool:
+        return rank in self._results or rank in self._failures
+
+    def join(self, timeout: float | None = None) -> list[Any]:
+        """Wait for every rank; sweep segments; return rank results."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not all(self._reported(r) for r in range(self.size)):
+            self._drain(_POLL * 5)
+            for rank, proc in enumerate(self._procs):
+                if self._reported(rank) or proc.is_alive():
+                    continue
+                # One more drain: the result may be sitting in the pipe.
+                self._drain(0)
+                if self._reported(rank):
+                    continue
+                self._failures[rank] = RankDiedError(
+                    f"rank {rank} of '{self._name}' exited with code "
+                    f"{proc.exitcode} before reporting a result"
+                )
+                # Peers blocked on the dead rank must fail, not hang.
+                self._abort_event.set()
+            if deadline is not None and time.monotonic() > deadline:
+                if not all(self._reported(r) for r in range(self.size)):
+                    raise TimeoutError(
+                        f"SPMD group '{self._name}' did not finish "
+                        f"within {timeout} seconds"
+                    )
+        self._finish()
+        from repro.rts.executor import SpmdError
+
+        primary = {
+            r: e
+            for r, e in self._failures.items()
+            if not isinstance(e, GroupAbortedError)
+        }
+        if primary:
+            raise SpmdError(self._name, primary)
+        if self._failures:
+            raise SpmdError(self._name, dict(self._failures))
+        return [self._results[r] for r in range(self.size)]
+
+    def _finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(timeout=5.0)
+        # Everything the ranks will ever say is now in the pipes.
+        self._drain(0)
+        for conn in self._up:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.sweep_segments()
+        self._sweeper.detach()
+
+    def sweep_segments(self) -> int:
+        """Unlink every registered-but-not-unregistered segment."""
+        swept = 0
+        for name in sorted(self._segments):
+            if shm.unlink_quietly(name):
+                swept += 1
+        self._segments.clear()
+        return swept
+
+    def shm_stats(self) -> dict[str, int]:
+        """Aggregated pool counters reported by joined ranks."""
+        return dict(self._shm_stats)
+
+
+def _emergency_cleanup(procs: list[Any], segments: list[str]) -> None:
+    """GC/exit fallback when a handle is dropped without join."""
+    for proc in procs:
+        if proc.is_alive():
+            proc.kill()
+    for name in segments:
+        shm.unlink_quietly(name)
+
+
+def spawn_process_group(
+    fn: Callable[..., Any],
+    nranks: int,
+    *args: Any,
+    name: str = "spmd",
+    rank_args: Sequence[Sequence[Any]] | None = None,
+) -> ProcHandle:
+    """Start ``fn(ctx, *args)`` on ``nranks`` forked processes.
+
+    The process-backend twin of
+    :meth:`repro.rts.executor.SpmdExecutor.spawn`.  Because ranks are
+    forked, ``fn`` may be any callable (closures included); results
+    and exceptions must be picklable.
+    """
+    if nranks <= 0:
+        raise ValueError("an SPMD group needs at least one rank")
+    if rank_args is not None and len(rank_args) != nranks:
+        raise ValueError(f"rank_args must have exactly {nranks} entries")
+    if not process_backend_supported():
+        raise RuntimeError(
+            "the process RTS backend requires the 'fork' start method"
+        )
+    mp = multiprocessing.get_context("fork")
+    pipes = [
+        [
+            mp.Pipe(duplex=False) if src != dst else (None, None)
+            for dst in range(nranks)
+        ]
+        for src in range(nranks)
+    ]
+    up_pairs = [mp.Pipe(duplex=False) for _ in range(nranks)]
+    abort_event = mp.Event()
+    procs = []
+    for rank in range(nranks):
+        extra = tuple(rank_args[rank]) if rank_args is not None else ()
+        procs.append(
+            mp.Process(
+                target=_child_main,
+                args=(
+                    rank,
+                    nranks,
+                    name,
+                    fn,
+                    args,
+                    extra,
+                    pipes,
+                    up_pairs,
+                    abort_event,
+                ),
+                name=f"{name}-{rank}",
+                daemon=True,
+            )
+        )
+    for proc in procs:
+        proc.start()
+    # The parent needs only the uplink read ends; release the rest.
+    for src in range(nranks):
+        for dst in range(nranks):
+            if src == dst:
+                continue
+            pipes[src][dst][0].close()
+            pipes[src][dst][1].close()
+    up_conns = []
+    for r_end, w_end in up_pairs:
+        w_end.close()
+        up_conns.append(r_end)
+    return ProcHandle(name, procs, up_conns, abort_event)

@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.rts import backends as rts_backends
 from repro.trace.metrics import MetricsRegistry
 
 #: Process-wide monotonic epoch: all recorders measure from here, so
@@ -177,7 +178,16 @@ class TraceRecorder:
         rank: int = 0,
         **attrs: Any,
     ) -> SpanHandle:
-        """Open a span; also usable as a context manager."""
+        """Open a span; also usable as a context manager.
+
+        Spans opened inside an SPMD rank are tagged with that rank's
+        RTS backend (``rts: thread|process``) unless the caller set
+        one explicitly, so traces from mixed-backend runs stay
+        separable; serial-code spans stay untagged.
+        """
+        backend = rts_backends.active_backend()
+        if backend is not None:
+            attrs.setdefault("rts", backend)
         return SpanHandle(self, name, trace_id, side, rank, attrs)
 
     def record(self, span: Span) -> None:

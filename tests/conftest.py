@@ -1,0 +1,35 @@
+"""Suite-wide fixtures: shm hygiene guard + hypothesis profile.
+
+The process RTS backend (:mod:`repro.rts.procs`) promises that no
+shared-memory segment outlives its SPMD group.  The autouse session
+fixture below turns that promise into a suite invariant: any
+``pardis_shm_*`` / ``psm_*`` name left under ``/dev/shm`` at teardown
+fails the run.
+
+The hypothesis profile suppresses the ``differing_executors`` health
+check: backend parametrization deliberately runs one ``@given`` test
+from several pytest instances (thread and process), which is exactly
+the pattern the check flags.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.rts import shm
+
+settings.register_profile(
+    "pardis",
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+settings.load_profile("pardis")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_leaked_shm_segments():
+    """No PARDIS shared-memory segment may survive the suite."""
+    before = set(shm.leaked_segments())
+    yield
+    leaked = sorted(set(shm.leaked_segments()) - before)
+    assert not leaked, (
+        f"shared-memory segments leaked by the suite: {leaked}"
+    )

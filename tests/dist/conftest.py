@@ -1,0 +1,53 @@
+"""Backend parametrization for the distributed-sequence suites.
+
+``test_sequence`` and ``test_slices`` drive real SPMD groups, so they
+run once per RTS backend (thread and process) via ``PARDIS_RTS``;
+``test_template``/``test_schedule`` are pure layout math and keep a
+single run.
+"""
+
+import os
+
+import pytest
+
+from repro.rts import process_backend_supported
+from repro.rts.backends import ENV_VAR
+
+PROCESS_MODULES = {"test_sequence", "test_slices"}
+
+
+def pytest_generate_tests(metafunc):
+    if "rts_backend" not in metafunc.fixturenames:
+        return
+    module = metafunc.module.__name__.rpartition(".")[2]
+    if module in PROCESS_MODULES:
+        metafunc.parametrize(
+            "rts_backend",
+            ["thread", "process"],
+            indirect=True,
+            scope="module",
+        )
+
+
+@pytest.fixture(scope="module")
+def rts_backend(request):
+    backend = getattr(request, "param", None)
+    if backend is None:
+        yield os.environ.get(ENV_VAR) or "thread"
+        return
+    if backend == "process" and not process_backend_supported():
+        pytest.skip("process RTS backend needs the fork start method")
+    old = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = backend
+    try:
+        yield backend
+    finally:
+        if old is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = old
+
+
+@pytest.fixture(autouse=True)
+def _rts_backend_env(rts_backend):
+    yield

@@ -65,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small payload, depths 1 and 8 only (CI-friendly)",
     )
+    parser.add_argument(
+        "--rts",
+        choices=["thread", "process"],
+        default="thread",
+        help="RTS backend for the client (process = forked client "
+        "rank over TCP; implies --fabric socket)",
+    )
     parser.add_argument("--size", type=int, default=None, help="bytes")
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument(
@@ -120,6 +127,9 @@ def main(argv: list[str] | None = None) -> int:
     fabrics = (
         ["inproc", "socket"] if args.fabric == "both" else [args.fabric]
     )
+    if args.rts == "process":
+        # The in-process fabric cannot span OS processes.
+        fabrics = ["socket"]
     depths = args.depths or (SMOKE_DEPTHS if args.smoke else DEFAULT_DEPTHS)
     size = args.size or (SMOKE_SIZE if args.smoke else DEFAULT_SIZE)
     requests = args.requests or (
@@ -141,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
                 requests=requests,
                 service_ms=service_ms,
                 repeats=args.repeats,
+                rts_backend=args.rts,
             )
         )
     print(format_pipeline(points))
@@ -172,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
                     service_ms=service_ms,
                     repeats=args.repeats,
                     trace=True,
+                    rts_backend=args.rts,
                 )
             )
         ratio = throughput_ratio(traced, points)
@@ -199,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         payload = {
             "benchmark": "pipeline",
+            "rts": args.rts,
             "units": {
                 "mb_per_s": "payload MB per second, both directions",
                 "speedups": (

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Run the thread-vs-process RTS benchmark and emit BENCH_procs.json.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_procs.py                 # full run
+    PYTHONPATH=src python tools/bench_procs.py --smoke         # CI subset
+    PYTHONPATH=src python tools/bench_procs.py --smoke \\
+        --gate 1.8                          # process >= 1.8x thread gate
+
+Four SPMD ranks run an identical body — a pure-Python (GIL-holding)
+compute pass interleaved with a >= 1 MiB gather/scatter — on the
+thread backend and on the process backend, and the JSON records the
+``process / thread`` aggregate-throughput ratio per op.
+
+The ratio only reflects parallelism on a multi-core host; the emitted
+``host`` section records ``cpu_count`` and scheduler affinity, and
+``--gate R`` is enforced **only when at least 2 cores are usable**
+(on a single core it prints the measurement and the skip reason and
+exits 0).  See ``docs/performance.md`` for the methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.procs import (  # noqa: E402
+    DEFAULT_COMPUTE_UNITS,
+    DEFAULT_ITERATIONS,
+    DEFAULT_RANKS,
+    DEFAULT_SIZE,
+    SMOKE_COMPUTE_UNITS,
+    SMOKE_ITERATIONS,
+    SMOKE_SIZE,
+    effective_cores,
+    format_procs,
+    host_info,
+    points_as_dicts,
+    ratios,
+    run_procs,
+)
+from repro.rts import process_backend_supported  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="1 MiB payload, fewer iterations (CI-friendly)",
+    )
+    parser.add_argument("--size", type=int, default=None, help="bytes")
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument(
+        "--compute-units",
+        type=int,
+        default=None,
+        help="inner-loop length of the GIL-holding compute pass",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed loops per point; the best is reported",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="fail when any op's process/thread throughput ratio is "
+        "below this (enforced only with >= 2 usable cores)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write results JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    if not process_backend_supported():
+        print("process RTS backend unsupported here (needs fork)")
+        return 0
+
+    size = args.size or (SMOKE_SIZE if args.smoke else DEFAULT_SIZE)
+    iterations = args.iterations or (
+        SMOKE_ITERATIONS if args.smoke else DEFAULT_ITERATIONS
+    )
+    compute_units = args.compute_units or (
+        SMOKE_COMPUTE_UNITS if args.smoke else DEFAULT_COMPUTE_UNITS
+    )
+
+    points = run_procs(
+        size_bytes=size,
+        ranks=args.ranks,
+        iterations=iterations,
+        compute_units=compute_units,
+        repeats=args.repeats,
+    )
+    print(format_procs(points))
+
+    cores = effective_cores()
+    measured = ratios(points)
+    failures = 0
+    if args.gate is not None:
+        if cores >= 2:
+            print(
+                f"\nprocess/thread gate: ratio must reach "
+                f"{args.gate:.2f}x ({cores} usable cores)"
+            )
+            for op, ratio in sorted(measured.items()):
+                verdict = "ok" if ratio >= args.gate else "FAIL"
+                if verdict == "FAIL":
+                    failures += 1
+                print(f"  {op:<8} {ratio:>6.2f}x  {verdict}")
+        else:
+            print(
+                f"\ngate skipped: {cores} usable core(s) — the "
+                "process backend cannot run ranks in parallel here"
+            )
+
+    if args.out is not None:
+        payload = {
+            "benchmark": "procs",
+            "units": {
+                "mb_per_s": (
+                    "payload MB through the collective per second, "
+                    "aggregate across ranks"
+                ),
+                "ratios": "process mb_per_s / thread mb_per_s, per op",
+            },
+            "host": host_info(),
+            "parameters": {
+                "ranks": args.ranks,
+                "size_bytes": size,
+                "iterations": iterations,
+                "compute_units": compute_units,
+                "repeats": args.repeats,
+            },
+            "ratios": measured,
+            "results": points_as_dicts(points),
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if failures:
+        print(f"{failures} op(s) below the throughput gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

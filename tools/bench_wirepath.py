@@ -55,10 +55,19 @@ def threshold_for(size_bytes: int) -> float:
     )
 
 
-def measure(fabrics: list[str], sizes: list[int], iterations: int) -> list:
+def measure(
+    fabrics: list[str],
+    sizes: list[int],
+    iterations: int,
+    rts: str = "thread",
+) -> list:
     points = []
     for fabric in fabrics:
-        points.extend(run_wirepath(fabric, sizes, iterations=iterations))
+        points.extend(
+            run_wirepath(
+                fabric, sizes, iterations=iterations, rts_backend=rts
+            )
+        )
     return points
 
 
@@ -95,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="small sizes only (CI-friendly)",
     )
+    parser.add_argument(
+        "--rts",
+        choices=["thread", "process"],
+        default="thread",
+        help="RTS backend for the client (process = forked client "
+        "rank over TCP; implies --fabric socket)",
+    )
     parser.add_argument("--iterations", type=int, default=5)
     parser.add_argument(
         "--out",
@@ -114,8 +130,11 @@ def main(argv: list[str] | None = None) -> int:
     fabrics = (
         ["inproc", "socket"] if args.fabric == "both" else [args.fabric]
     )
+    if args.rts == "process":
+        # The in-process fabric cannot span OS processes.
+        fabrics = ["socket"]
     sizes = SMOKE_SIZES if args.smoke else DEFAULT_SIZES
-    points = measure(fabrics, sizes, args.iterations)
+    points = measure(fabrics, sizes, args.iterations, rts=args.rts)
     print(format_wirepath(points))
 
     if args.check is not None:
@@ -130,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         payload = {
             "benchmark": "wirepath",
+            "rts": args.rts,
             "units": {
                 "mb_per_s": "payload MB per second, both directions",
                 "copies_per_payload_byte": (
