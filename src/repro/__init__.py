@@ -37,6 +37,11 @@ importing :mod:`repro` stays cheap.  The subpackages are:
     by a trace id propagated in the request header, a metrics
     registry, and a Chrome-trace exporter (see
     ``docs/observability.md``).
+``repro.groups``
+    Replicated object groups: a consistent-hash sharded naming
+    service with a group directory, deterministic client-side replica
+    selection, and collective failover between replicas (see
+    ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -75,6 +80,10 @@ _EXPORTS = {
     ),
     "TraceRecorder": ("repro.trace", "TraceRecorder"),
     "MetricsRegistry": ("repro.trace", "MetricsRegistry"),
+    "ShardedNaming": ("repro.groups", "ShardedNaming"),
+    "ReplicatedGroup": ("repro.groups", "ReplicatedGroup"),
+    "FailoverExhausted": ("repro.groups", "FailoverExhausted"),
+    "serve_replicated": ("repro.groups", "serve_replicated"),
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

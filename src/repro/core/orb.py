@@ -19,6 +19,7 @@ from repro.cdr.accounting import (
     register_account,
     unregister_account,
 )
+import repro.groups.stats as groups_stats
 import repro.san as san
 from repro.core.spmd import SpmdServerGroup
 from repro.dist.schedule import schedule_cache_stats
@@ -186,6 +187,35 @@ class ORB:
         self._adapter._groups.append(group)
         return group
 
+    def serve_replicated(
+        self,
+        name: str,
+        servant_factory: Callable[[ServantContext], Servant],
+        *,
+        replicas: int = 3,
+        nthreads: int = 1,
+        **serve_kwargs: Any,
+    ) -> Any:
+        """Activate a *replicated object group*: ``replicas``
+        independent activations of one servant behind one group name,
+        registered with the group directory of this ORB's
+        :class:`~repro.groups.shard.ShardedNaming` (required; see
+        :func:`repro.groups.serve.serve_replicated` for details and
+        the returned :class:`~repro.groups.serve.ReplicatedGroup`
+        handle).  Clients bind with ``Proxy._group_bind`` and fail
+        over between replicas under their
+        :class:`~repro.ft.policy.FtPolicy`."""
+        from repro.groups.serve import serve_replicated
+
+        return serve_replicated(
+            self,
+            name,
+            servant_factory,
+            replicas=replicas,
+            nthreads=nthreads,
+            **serve_kwargs,
+        )
+
     # -- client side ---------------------------------------------------------
 
     def client_runtime(
@@ -276,7 +306,10 @@ class ORB:
         (the :mod:`repro.san` sanitizer's counters and findings —
         see ``docs/sanitizer.md``), ``rts`` (the RTS execution
         context — backend name, rank, size — plus shared-memory
-        segment counters from the process backend's pool), and — when
+        segment counters from the process backend's pool), ``groups``
+        (replicated-group counters — binds, selections, failovers —
+        plus the per-group membership/epoch board; see
+        :mod:`repro.groups`), and — when
         tracing is on — ``trace`` (recorder occupancy plus the
         counters/histograms of the :mod:`repro.trace` metrics
         registry).  See ``docs/observability.md`` for the full schema.
@@ -322,6 +355,9 @@ class ORB:
             # shared-memory segment accounting for the process
             # backend's data plane.
             "rts": rts_backends.rts_stats(),
+            # Replicated-group counters (binds, selections, failovers)
+            # and the per-group membership board.
+            "groups": groups_stats.stats(),
         }
         if self.trace is not None:
             snapshot["trace"] = {

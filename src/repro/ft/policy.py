@@ -136,6 +136,7 @@ class FtStats:
         "retries_exhausted",
         "degraded",
         "agreements",
+        "failovers",
     )
 
     def __init__(self, on_bump: Any = None) -> None:
@@ -178,6 +179,13 @@ class FtPolicy:
         When a multiport data port is unreachable, collectively fall
         back to the centralized transfer method (fresh request id; the
         server never saw the data, so it cannot have executed).
+    ``max_failovers``
+        Replica flips a *group* binding (``repro.groups``) may make
+        per invocation after per-replica retries exhaust.  Ignored on
+        singleton bindings.  The default covers every sibling of a
+        failed replica once; invocations replayed on the new replica
+        dedup through the server reply cache, so a failover is safe
+        even when the old replica executed before dying.
     """
 
     deadline_ms: float | None = None
@@ -188,6 +196,7 @@ class FtPolicy:
         default=DEFAULT_RETRYABLE
     )
     degrade_to_centralized: bool = True
+    max_failovers: int | None = None
 
     def __post_init__(self) -> None:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
@@ -196,6 +205,8 @@ class FtPolicy:
             raise ValueError("max_retries cannot be negative")
         if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
             raise ValueError("backoff values cannot be negative")
+        if self.max_failovers is not None and self.max_failovers < 0:
+            raise ValueError("max_failovers cannot be negative (or None)")
         object.__setattr__(
             self,
             "retryable_categories",

@@ -1,0 +1,78 @@
+"""Consistent hashing for the sharded naming service.
+
+The name space is partitioned across shards with a classic
+consistent-hash ring: each shard projects ``vnodes`` virtual points
+onto a 64-bit circle and a name is owned by the first point at or
+after its own hash.  Adding or removing one shard then remaps only
+the names between its points and their predecessors — ~1/N of the
+space — instead of rehashing everything, which is what lets a naming
+deployment grow shards without a global re-registration storm.
+
+Hashes come from :func:`hashlib.blake2b` (seeded, process-independent)
+rather than :func:`hash`, so every client and every shard router of a
+deployment places the same name on the same shard regardless of
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash of ``text``."""
+    digest = hashlib.blake2b(
+        text.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    ``vnodes`` virtual points per node smooth the partition: with one
+    point per shard the largest arc is O(log N / N) unlucky; with 64
+    the spread is within a few percent of uniform.
+    """
+
+    def __init__(self, nodes: list[str], vnodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("ring nodes must be unique")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._nodes = list(nodes)
+        #: Sorted virtual points and the node each belongs to.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        points = []
+        for node in nodes:
+            for v in range(vnodes):
+                points.append((stable_hash(f"{node}#{v}"), node))
+        points.sort()
+        for point, node in points:
+            self._points.append(point)
+            self._owners.append(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``: first ring point at or after the
+        key's hash, wrapping at the top of the circle."""
+        point = stable_hash(key)
+        index = bisect.bisect_left(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys: list[str]) -> dict[str, int]:
+        """How many of ``keys`` land on each node (diagnostics)."""
+        counts = dict.fromkeys(self._nodes, 0)
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

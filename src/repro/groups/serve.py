@@ -1,0 +1,156 @@
+"""Server-side replication: serve N replicas behind one group name.
+
+:func:`serve_replicated` is the group counterpart of
+:meth:`repro.core.orb.ORB.serve`: it activates ``replicas``
+independent servant groups — each a full SPMD object served as
+``name#<rid>`` — and registers the membership with the group
+directory of a :class:`~repro.groups.shard.ShardedNaming`.  The
+returned :class:`ReplicatedGroup` is the operator's handle: kill a
+replica (crash semantics, for tests and benchmarks), retire one
+gracefully, push health readings, shut the whole group down.
+
+Replication here is of the *service*, not of state: replicas are
+independent servants (think stateless or externally synchronized
+workers), which is exactly the PARDIS-era object-group model this
+layer reproduces.  What the subsystem adds is availability — clients
+fail over collectively and replay through the reply cache — not state
+machine replication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.groups import stats as groups_stats
+from repro.groups.shard import ShardedNaming
+from repro.orb.naming import NamingError
+
+
+def replica_name(name: str, replica_id: int) -> str:
+    """The naming-domain key of one replica (``name#rid``)."""
+    return f"{name}#{replica_id}"
+
+
+class ReplicatedGroup:
+    """An activated replicated object group (server-side handle)."""
+
+    def __init__(
+        self, orb: Any, name: str, naming: ShardedNaming
+    ) -> None:
+        self.orb = orb
+        self.name = name
+        self.naming = naming
+        #: replica id -> the replica's ServantGroup.
+        self.members: dict[int, Any] = {}
+        self._shut = False
+
+    @property
+    def replica_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.members))
+
+    def kill(self, replica_id: int) -> None:
+        """Crash one replica: abrupt port close, naming entry left
+        dangling — exactly what a dead process looks like.  Clients
+        notice through transport errors and fail over."""
+        group = self.members.get(replica_id)
+        if group is None:
+            raise NamingError(
+                f"group '{self.name}' has no replica {replica_id}"
+            )
+        group.kill()
+
+    def shutdown_replica(self, replica_id: int) -> None:
+        """Retire one replica gracefully: drain, unbind, and remove it
+        from the group directory (no epoch bump — planned removal is
+        not a failure)."""
+        group = self.members.pop(replica_id, None)
+        if group is None:
+            raise NamingError(
+                f"group '{self.name}' has no replica {replica_id}"
+            )
+        self.naming.remove_member(self.name, replica_id)
+        group.shutdown()
+
+    def report_health(self, loads: dict[int, float] | None = None) -> None:
+        """Push per-replica load readings to the group directory.
+
+        ``loads`` maps replica id to a load figure; ``None`` derives
+        one per live replica from its reply-cache occupancy (a cheap
+        stand-in for queue depth in this in-process reproduction).
+        """
+        if loads is None:
+            loads = {}
+            for rid, group in self.members.items():
+                cache = getattr(group, "reply_cache", None)
+                stats = cache.stats() if cache is not None else {}
+                loads[rid] = float(stats.get("entries", 0))
+        for rid, load in loads.items():
+            self.naming.report_health(self.name, rid, load)
+
+    def shutdown(self) -> None:
+        """Shut every replica down and unbind the group."""
+        if self._shut:
+            return
+        self._shut = True
+        for group in self.members.values():
+            group.shutdown()
+        self.members.clear()
+        try:
+            self.naming.unbind_group(self.name)
+        except NamingError:
+            pass
+
+
+def serve_replicated(
+    orb: Any,
+    name: str,
+    servant_factory: Callable[..., Any],
+    *,
+    replicas: int = 3,
+    nthreads: int = 1,
+    reply_cache_bytes: int = 1 << 20,
+    **serve_kwargs: Any,
+) -> ReplicatedGroup:
+    """Activate ``replicas`` servants of one object behind one group
+    name and register the group with the sharded naming directory.
+
+    ``orb.naming`` must be a :class:`~repro.groups.shard.ShardedNaming`
+    (only the router keeps group membership and health epochs; the
+    flat :class:`~repro.orb.naming.NamingService` has no directory to
+    put them in).  Each replica is a normal ``orb.serve`` activation
+    under ``name#<rid>`` — visible in the flat namespace too — and the
+    reply cache defaults *on* (1 MiB per replica): failover replays
+    requests, and a cache-less replica would re-execute them.
+    """
+    naming = orb.naming
+    if not isinstance(naming, ShardedNaming):
+        raise TypeError(
+            "serve_replicated needs an ORB whose naming is a "
+            f"ShardedNaming router, not {type(naming).__name__}; "
+            "pass naming=ShardedNaming(...) when creating the ORB"
+        )
+    if replicas < 1:
+        raise ValueError("a replicated group needs at least one replica")
+    handle = ReplicatedGroup(orb, name, naming)
+    try:
+        for rid in range(replicas):
+            handle.members[rid] = orb.serve(
+                replica_name(name, rid),
+                servant_factory,
+                nthreads,
+                reply_cache_bytes=reply_cache_bytes,
+                **serve_kwargs,
+            )
+        naming.bind_group(
+            name,
+            handle.members[0].reference.repo_id,
+            {
+                rid: group.reference
+                for rid, group in handle.members.items()
+            },
+        )
+    except Exception:
+        for group in handle.members.values():
+            group.shutdown()
+        raise
+    return handle

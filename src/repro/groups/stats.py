@@ -1,0 +1,73 @@
+"""Process-wide counters for the groups subsystem.
+
+Mirrors the shape of :func:`repro.san.stats` / ``rts_stats``: one
+module-level snapshot function the ORB folds into ``orb.stats()`` as
+the ``groups`` section (deep-copied at the snapshot boundary with the
+rest, so callers can mutate what they get back).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+_FIELDS = (
+    "binds",
+    "selections",
+    "failovers",
+    "failovers_exhausted",
+    "marked_down",
+    "epoch_bumps",
+    "health_reports",
+)
+
+
+class GroupsStats:
+    """Thread-safe counters plus a per-group membership board."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(_FIELDS, 0)
+        #: group name -> {"replicas": int, "down": int, "epoch": int}
+        self._groups: dict[str, dict[str, int]] = {}
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[field] += by
+
+    def note_group(
+        self, name: str, *, replicas: int, down: int, epoch: int
+    ) -> None:
+        with self._lock:
+            self._groups[name] = {
+                "replicas": replicas,
+                "down": down,
+                "epoch": epoch,
+            }
+
+    def forget_group(self, name: str) -> None:
+        with self._lock:
+            self._groups.pop(name, None)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            snap: dict[str, Any] = dict(self._counts)
+            snap["groups"] = {
+                name: dict(board) for name, board in self._groups.items()
+            }
+        return snap
+
+    def reset(self) -> None:
+        """Test hook: back to a fresh ledger."""
+        with self._lock:
+            self._counts = dict.fromkeys(_FIELDS, 0)
+            self._groups = {}
+
+
+#: The process-wide ledger behind ``orb.stats()["groups"]``.
+GLOBAL = GroupsStats()
+
+
+def stats() -> dict[str, Any]:
+    """The ``groups`` section of ``orb.stats()``."""
+    return GLOBAL.snapshot()

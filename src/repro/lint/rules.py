@@ -221,6 +221,22 @@ _RULES = (
         "as PD201, hidden by control flow instead of a guard "
         "around the call itself.",
     ),
+    Rule(
+        "PD213",
+        "group-bind-without-retry-policy",
+        "warning",
+        "bound to a replicated group without an FtPolicy that "
+        "enables retries, so failover silently degrades to "
+        "fail-fast",
+        "Replicated groups (repro.groups): client-side failover "
+        "only engages when a fault-tolerance policy classifies the "
+        "failure as retry-worthy — a group binding without a "
+        "retrying FtPolicy fails fast on the first dead replica, "
+        "exactly like a singleton binding, and the replication "
+        "buys nothing.  Bind with FtPolicy(max_retries > 0) (and "
+        "serve the replicas with a reply cache, so failover "
+        "replays dedup instead of re-executing).",
+    ),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULES}

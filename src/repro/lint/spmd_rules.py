@@ -573,6 +573,91 @@ def _check_retry_cache(
 
 
 # ---------------------------------------------------------------------------
+# PD213: group bind without a retrying policy (failover disabled)
+# ---------------------------------------------------------------------------
+
+
+def _nonretry_policy(node: ast.expr) -> bool:
+    """Is ``node`` an ``FtPolicy(...)`` call that *provably* leaves
+    retries off (``max_retries`` absent — the default is 0 — or a
+    constant <= 0)?"""
+    if not (
+        isinstance(node, ast.Call)
+        and _call_name(node) == "FtPolicy"
+    ):
+        return False
+    retries = _keyword(node, "max_retries")
+    if retries is None:
+        return True
+    return (
+        isinstance(retries, ast.Constant)
+        and isinstance(retries.value, int)
+        and not isinstance(retries.value, bool)
+        and retries.value <= 0
+    )
+
+
+def _check_group_bind(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """Group bindings whose failover is provably disabled.
+
+    Failover only engages under a retrying :class:`FtPolicy`; a
+    ``_group_bind`` with no policy, or with one provably leaving
+    ``max_retries`` at 0, fails fast on the first dead replica.  As
+    with PD209, only provable misconfigurations are reported: a
+    policy of unknown provenance is assumed intentional.
+    """
+    out: list[Diagnostic] = []
+    retry_names: set[str] = set()
+    nonretry_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _retry_policy(node.value):
+                    retry_names.add(target.id)
+                elif _nonretry_policy(node.value):
+                    nonretry_names.add(target.id)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) != "_group_bind" or not node.args:
+            continue
+        bound = node.args[0]
+        name = (
+            repr(bound.value)
+            if isinstance(bound, ast.Constant)
+            else "the group"
+        )
+        policy = _keyword(node, "ft_policy")
+        if policy is None:
+            detail = "without an ft_policy"
+        elif _nonretry_policy(policy) or (
+            isinstance(policy, ast.Name)
+            and policy.id in nonretry_names
+        ):
+            detail = "with an FtPolicy that leaves max_retries at 0"
+        else:
+            continue
+        out.append(
+            _diag(
+                "PD213",
+                path,
+                node.lineno,
+                f"{name} is a replicated-group binding {detail}: "
+                f"failover never engages, so the first dead "
+                f"replica fails the client despite the standbys",
+                "bind with ft_policy=FtPolicy(max_retries > 0) so "
+                "exhausted retries fail over to a sibling replica "
+                "(and serve replicas with reply_cache_bytes > 0 "
+                "so the replay dedups)",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -607,6 +692,7 @@ def lint_python_source(
     diagnostics += _check_touch_loops(tree, path)
     diagnostics += _check_transfer(tree, path)
     diagnostics += _check_retry_cache(tree, path)
+    diagnostics += _check_group_bind(tree, path)
 
     # The interprocedural collective-flow rules (PD210–PD212).
     # Imported lazily: repro.lint.flow shares the token sets above,

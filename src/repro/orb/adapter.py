@@ -1346,9 +1346,40 @@ class ServantGroup:
             except GroupAbortedError:
                 return None
 
+    def kill(self, timeout: float = 30.0) -> None:
+        """Crash the object: close its ports abruptly, *without*
+        unregistering from naming or draining queued requests.
+
+        This is the fault-injection counterpart of :meth:`shutdown`
+        (``repro.groups`` uses it to fail one replica of a group):
+        the naming entry stays behind like a dead process's would, and
+        clients discover the failure the way they would for a real
+        crash — sends to the closed ports raise
+        :class:`~repro.orb.transport.TransportError`, pending receives
+        never complete.  The dispatch threads themselves wind down
+        (the prefetcher exits on the port close), so a killed group
+        leaks no threads.  Idempotent; ``shutdown`` afterwards is safe
+        and only removes the naming entry.
+        """
+        if self._handle is None:
+            return
+        for port in [self._request_port, *self._data_ports]:
+            if port is not None and not port.closed:
+                port.close()
+        handle, self._handle = self._handle, None
+        try:
+            handle.join(timeout)
+        except Exception:
+            # The ranks died of the port close — that is the point.
+            pass
+
     def shutdown(self, timeout: float = 30.0) -> None:
         """Stop the dispatch loops and unregister."""
         if self._handle is None:
+            try:
+                self.naming.unbind(self.name, host=self.host)
+            except Exception:
+                pass
             return
         if self._request_port is not None and not self._request_port.closed:
             self.fabric.send(

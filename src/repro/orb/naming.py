@@ -82,9 +82,12 @@ class NamingService:
         return matches[0]
 
     def unbind(self, name: str, host: str = "") -> None:
+        """Remove a registration; resolving it afterwards fails just
+        as if it had never been bound (no tombstones)."""
         with self._lock:
             if self._entries.pop((name, host), None) is None:
-                raise NamingError(f"no object bound as '{name}'")
+                where = f" on host '{host}'" if host else ""
+                raise NamingError(f"no object bound as '{name}'{where}")
 
     def names(self) -> list[tuple[str, str]]:
         """All (name, host) registrations, sorted."""

@@ -33,8 +33,15 @@ from collections import deque
 from typing import Any, Callable
 
 from repro.ft.policy import FtStats, effective_policy
+from repro.groups import stats as _groups_stats
+from repro.groups.failover import (
+    GroupBinding,
+    agree_failover,
+    failover_worthy,
+)
+from repro.groups.select import GroupView, SelectionError, policy_for
 from repro.orb.operation import OperationSpec, RemoteError
-from repro.orb.reference import ObjectReference
+from repro.orb.reference import GroupReference, ObjectReference
 from repro.orb.transfer import (
     CentralizedTransfer,
     ChunkCollector,
@@ -49,7 +56,7 @@ from repro.san import call_site as _san_call_site
 from repro.san import enabled as _san_enabled
 from repro.san.collective import CollectiveChecker
 from repro.san.futures import track as _san_track
-from repro.trace.span import span_or_null
+from repro.trace.span import replica_scope, span_or_null
 from repro.rts.interface import MessagePassingRTS, RuntimeSystem
 from repro.rts.mpi import Intracomm
 from repro.rts.onesided import OneSidedRTS
@@ -449,6 +456,7 @@ class ClientProxy:
         mode: BindMode,
         transfer: str,
         ft_policy: Any = None,
+        group: GroupBinding | None = None,
     ) -> None:
         self._runtime = runtime
         self._ref = ref
@@ -457,6 +465,10 @@ class ClientProxy:
         #: Per-proxy fault-tolerance policy; ``None`` defers to the
         #: runtime's (ORB-wide) policy.
         self._ft_policy = ft_policy
+        #: Replicated-group binding state (``None`` for singleton
+        #: bindings): which replica this proxy targets and how to fail
+        #: over.  Set by :meth:`_group_bind`.
+        self._group = group
         #: (operation, slot name) → template spec for out/return
         #: distributed values (§2.2's client-side initialization).
         self._out_templates: dict[tuple[str, str], tuple] = {}
@@ -534,6 +546,98 @@ class ClientProxy:
                 cls._default_transfer(ref, transfer),
                 ft_policy=ft_policy,
             )
+
+    @classmethod
+    def _group_bind(
+        cls,
+        group_name: str,
+        runtime: ClientRuntime,
+        *,
+        selection: Any = "round-robin",
+        transfer: str | None = None,
+        ft_policy: Any = None,
+    ) -> "ClientProxy":
+        """Bind to a *replicated object group* (``repro.groups``).
+
+        Resolves the group through the sharded naming router and pins
+        the proxy to one replica chosen by ``selection`` —
+        ``"round-robin"`` (spread across bindings via the router's
+        bind token), ``"least-loaded"`` (the replica with the lowest
+        reported load), or a
+        :class:`~repro.groups.select.SelectionPolicy` instance.
+
+        Collective when the runtime is (rank 0 resolves; the group
+        reference and bind token ride one broadcast, so every rank
+        selects the same replica), per-thread otherwise — the §2.1
+        ``_spmd_bind`` / ``_bind`` split, at group scope.
+
+        With a retrying ``ft_policy`` in force, invocations that
+        exhaust their policy against the pinned replica *fail over*:
+        all ranks vote, flip to the same sibling, and replay.  Without
+        one the binding fails fast exactly like a singleton proxy
+        (lint rule PD213 flags that configuration).
+        """
+        policy = policy_for(selection)
+        trace = getattr(runtime, "trace", None)
+        with span_or_null(
+            trace, "bind", side="client", rank=runtime.rank,
+            object=group_name, mode="group_bind",
+        ):
+            if runtime.app_comm is None:
+                gref = cls._resolve_group(runtime.naming, group_name)
+                token = runtime.naming.next_bind_token(group_name)
+                bind_runtime = runtime.serial_view()
+            else:
+                if runtime.rank == 0:
+                    gref0 = cls._resolve_group(
+                        runtime.naming, group_name
+                    )
+                    payload = (
+                        gref0.ior(),
+                        runtime.naming.next_bind_token(group_name),
+                    )
+                else:
+                    payload = None
+                gior, token = runtime.orb_comm.bcast(payload, root=0)
+                gref = GroupReference.from_ior(gior)
+                bind_runtime = runtime
+            if (
+                cls._repo_id
+                and gref.repo_id
+                and gref.repo_id != cls._repo_id
+            ):
+                raise RemoteError(
+                    f"group '{gref.group_name}' implements "
+                    f"{gref.repo_id}, proxy expects {cls._repo_id}",
+                    category="INV_OBJREF",
+                )
+            binding = GroupBinding(GroupView(gref), policy, token)
+            ref = binding.current_ref()
+            _groups_stats.GLOBAL.bump("binds")
+            return cls(
+                bind_runtime,
+                ref,
+                (
+                    BindMode.SERIAL
+                    if bind_runtime.app_comm is None
+                    else BindMode.SPMD
+                ),
+                cls._default_transfer(ref, transfer),
+                ft_policy=ft_policy,
+                group=binding,
+            )
+
+    @staticmethod
+    def _resolve_group(naming: Any, group_name: str) -> GroupReference:
+        resolve_group = getattr(naming, "resolve_group", None)
+        if resolve_group is None:
+            raise RemoteError(
+                f"naming service {type(naming).__name__} has no group "
+                f"directory; replicated groups need a "
+                f"repro.groups.ShardedNaming router",
+                category="INV_OBJREF",
+            )
+        return resolve_group(group_name)
 
     @classmethod
     def _default_transfer(
@@ -633,6 +737,9 @@ class ClientProxy:
             # The engine owns the deadline; the blocking caller just
             # needs a safety margin over the worst-case retry budget.
             timeout = policy.wait_budget(self._runtime.timeout)
+            if timeout is not None and self._group is not None:
+                # Each failover replays the full per-replica budget.
+                timeout *= 1 + self._group.budget(policy)
         else:
             timeout = (
                 None if self._runtime.timeout is None
@@ -670,8 +777,10 @@ class ClientProxy:
             for (op, param), template_spec in self._out_templates.items()
             if op == operation
         }
-        future = runtime.worker.submit(
-            lambda: engine.invoke_begin(
+        if self._group is not None:
+            launch = self._group_launch_fn(operation, spec, args, out_map)
+        else:
+            launch = lambda: engine.invoke_begin(  # noqa: E731
                 runtime,
                 ref,
                 spec,
@@ -679,7 +788,9 @@ class ClientProxy:
                 out_templates=out_map,
                 ft_policy=self._ft_policy,
                 on_degrade=self._on_degrade,
-            ),
+            )
+        future = runtime.worker.submit(
+            launch,
             label=f"{self._interface}.{operation}",
         )
         if runtime.sanitize:
@@ -705,6 +816,181 @@ class ClientProxy:
         """Non-blocking :meth:`invoke_all`, returning a future."""
         return self._invoke_nb(operation, tuple(args))
 
+    # -- replicated groups -------------------------------------------------
+
+    def _group_launch_fn(
+        self,
+        operation: str,
+        spec: OperationSpec,
+        args: tuple,
+        out_map: dict[str, tuple],
+    ) -> Callable[[], tuple[str, Any]]:
+        """The worker-submitted launch for a group-bound invocation.
+
+        Identical to the singleton launch except that (a) the trace id
+        is pre-drawn from the shared request-id sequence, so the spans
+        of a failed attempt and of its replay on another replica
+        correlate into one trace; (b) engine phases run inside a
+        :class:`~repro.trace.span.replica_scope`, tagging every
+        client-side span with the replica the request actually
+        targeted; and (c) a failure surfacing from the completion is
+        routed through :meth:`_group_replay` instead of the future.
+
+        Launches and completions both run on the rank's worker in
+        queue-determined order, so the pre-draw, the failover vote and
+        the replay's own collectives stay aligned across ranks.
+        """
+        runtime = self._runtime
+        binding = self._group
+
+        def launch() -> tuple[str, Any]:
+            engine = self._engine
+            replica_id = binding.current_replica()
+            trace_id = (
+                runtime.next_request_id()
+                if runtime.trace is not None
+                else None
+            )
+            with replica_scope(replica_id):
+                state, payload = engine.invoke_begin(
+                    runtime,
+                    binding.current_ref(),
+                    spec,
+                    args,
+                    out_templates=out_map,
+                    ft_policy=self._ft_policy,
+                    on_degrade=self._on_degrade,
+                    trace_id=trace_id,
+                )
+            if state == "done":
+                return state, payload
+
+            def complete() -> Any:
+                try:
+                    with replica_scope(replica_id):
+                        return payload()
+                except BaseException as exc:  # noqa: BLE001 - classified below
+                    return self._group_replay(
+                        operation, spec, args, out_map, exc,
+                        attempt_replica=replica_id,
+                        trace_id=trace_id,
+                    )
+
+            return "pending", complete
+
+        return launch
+
+    def _group_replay(
+        self,
+        operation: str,
+        spec: OperationSpec,
+        args: tuple,
+        out_map: dict[str, tuple],
+        exc: BaseException,
+        *,
+        attempt_replica: int,
+        trace_id: int | None,
+    ) -> Any:
+        """Fail over and replay until a replica answers or the budget
+        is spent (worker thread, completion drain order).
+
+        The failed attempt already raised the *group-agreed* exception
+        at the same collective index on every rank (that is what the
+        ft agreement guarantees), so every rank enters here together.
+        One more collective — :func:`~repro.groups.failover.
+        agree_failover` — confirms all ranks abandon the same replica
+        with the same token, then the replacement is a pure function
+        of shared state and the replay's own collectives realign.
+
+        ``attempt_replica`` is the replica the failed attempt actually
+        targeted.  Under pipelining several in-flight requests were
+        launched at the same (now dead) replica; only the *first*
+        failing completion flips the binding — the rest see the
+        binding already moved past their replica and replay straight
+        against the current one, without burning failover budget or
+        marking healthy replicas down.
+        """
+        runtime = self._runtime
+        binding = self._group
+        policy = effective_policy(self._ft_policy, runtime)
+        last = exc
+        while True:
+            if not failover_worthy(last, policy):
+                raise last
+            collective_index = getattr(last, "collective_index", 0)
+            if binding.current_replica() == attempt_replica:
+                # The failed replica is still this binding's target:
+                # flip (collectively) before replaying.
+                if binding.budget(policy) <= 0:
+                    raise binding.exhausted(
+                        f"{self._interface}.{operation}",
+                        collective_index=collective_index,
+                        detail=str(last),
+                    ) from last
+                with span_or_null(
+                    runtime.trace, "failover", side="client",
+                    trace_id=trace_id or 0, rank=runtime.rank,
+                    group=binding.group_name,
+                    failed_replica=attempt_replica,
+                    operation=f"{self._interface}.{operation}",
+                ) as flip:
+                    agree_failover(
+                        runtime.rts, attempt_replica, binding.token + 1
+                    )
+                    try:
+                        replica_id, ref = binding.fail_over(
+                            attempt_replica
+                        )
+                    except SelectionError:
+                        raise binding.exhausted(
+                            f"{self._interface}.{operation}",
+                            collective_index=collective_index,
+                            detail=str(last),
+                        ) from last
+                    flip.note(replica=replica_id)
+                self._ref = ref
+                if runtime.rank == 0:
+                    # Report the death to the router (rank 0 only: one
+                    # report per collective binding): the health epoch
+                    # bumps and later binds exclude the dead replica.
+                    # Best-effort — a vanished router must not turn a
+                    # successful failover into a client-visible error.
+                    mark_down = getattr(
+                        runtime.naming, "mark_down", None
+                    )
+                    if mark_down is not None:
+                        try:
+                            mark_down(
+                                binding.group_name, attempt_replica
+                            )
+                        except Exception:
+                            pass
+                runtime.ft_stats.bump("failovers")
+                if runtime.trace is not None:
+                    runtime.trace.metrics.counter(
+                        "groups.failovers"
+                    ).inc()
+            else:
+                # An earlier completion already flipped past this
+                # attempt's replica — replay on the current target.
+                replica_id = binding.current_replica()
+                ref = binding.current_ref()
+            try:
+                with replica_scope(replica_id):
+                    return self._engine.invoke(
+                        runtime,
+                        ref,
+                        spec,
+                        args,
+                        out_templates=out_map,
+                        ft_policy=self._ft_policy,
+                        on_degrade=self._on_degrade,
+                        trace_id=trace_id,
+                    )
+            except BaseException as nexc:  # noqa: BLE001 - loop classifies
+                last = nexc
+                attempt_replica = replica_id
+
     def _on_degrade(self) -> None:
         """Multi-port graceful degradation (engine callback, every
         rank): subsequent invocations go centralized directly instead
@@ -712,6 +998,13 @@ class ClientProxy:
         self._engine = engine_for("centralized")
 
     def __repr__(self) -> str:
+        if self._group is not None:
+            return (
+                f"<proxy {self._interface} -> group "
+                f"'{self._group.group_name}' replica "
+                f"{self._group.current_replica()} "
+                f"[{self._mode.value}, {self._engine.mode}]>"
+            )
         return (
             f"<proxy {self._interface} -> '{self._ref.object_key}' "
             f"[{self._mode.value}, {self._engine.mode}]>"

@@ -141,3 +141,113 @@ class ObjectReference:
             f"<{self.repo_id} '{self.object_key}' at "
             f"{self.request_port}, {self.nthreads} threads>"
         )
+
+
+@dataclass(frozen=True)
+class GroupReference:
+    """A reference to a *replicated object group* (``repro.groups``).
+
+    Where an :class:`ObjectReference` names one servant, a group
+    reference names N interchangeable replicas behind one logical
+    name.  It is what a sharded naming router hands out for a
+    replicated binding: the membership snapshot at one *health epoch*
+    (bumped whenever a replica is marked down, so clients can tell a
+    stale view from a fresh one), plus the per-replica load readings
+    the least-loaded selection policy feeds on.
+
+    Group references stringify to ``GIOR:<hex>`` — pure CDR, like
+    :meth:`ObjectReference.ior`, with each member carried as its own
+    nested stringified reference — so a group binding can cross the
+    wire (rank 0 resolves, the peers parse).
+    """
+
+    group_name: str
+    repo_id: str
+    #: Router health epoch at resolve time (monotonic per group).
+    epoch: int
+    #: ``(replica_id, member reference)`` pairs, ascending replica id.
+    members: tuple[tuple[int, ObjectReference], ...]
+    #: ``(replica_id, load)`` health readings known at resolve time;
+    #: replicas that never reported are simply absent.
+    loads: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def replica_ids(self) -> tuple[int, ...]:
+        return tuple(rid for rid, _ in self.members)
+
+    def member(self, replica_id: int) -> ObjectReference:
+        for rid, ref in self.members:
+            if rid == replica_id:
+                return ref
+        raise KeyError(
+            f"group '{self.group_name}' has no replica {replica_id}"
+        )
+
+    def load(self, replica_id: int) -> float | None:
+        for rid, value in self.loads:
+            if rid == replica_id:
+                return value
+        return None
+
+    def ior(self) -> str:
+        """Stringified form: ``GIOR:`` + hex of a CDR encoding."""
+        enc = CdrEncoder()
+        enc.write_string(self.group_name)
+        enc.write_string(self.repo_id)
+        enc.write_ulong(self.epoch)
+        enc.write_ulong(len(self.members))
+        for rid, ref in self.members:
+            enc.write_ulong(rid)
+            enc.write_string(ref.ior())
+        enc.write_ulong(len(self.loads))
+        for rid, value in self.loads:
+            enc.write_ulong(rid)
+            # Milli-units: loads are coarse health readings, not
+            # accounting values, and CDR ulongs keep the stream pure.
+            enc.write_ulong(min(int(value * 1000.0), 0xFFFFFFFF))
+        return "GIOR:" + binascii.hexlify(enc.getvalue()).decode("ascii")
+
+    @staticmethod
+    def from_ior(text: str) -> "GroupReference":
+        """Parse a stringified group reference (inverse of :meth:`ior`)."""
+        if not text.startswith("GIOR:"):
+            raise ValueError(
+                f"not a stringified group reference: {text[:20]!r}"
+            )
+        try:
+            dec = CdrDecoder(binascii.unhexlify(text[5:]))
+            group_name = dec.read_string()
+            repo_id = dec.read_string()
+            epoch = dec.read_ulong()
+            nmembers = dec.read_ulong()
+            members = tuple(
+                (dec.read_ulong(), ObjectReference.from_ior(dec.read_string()))
+                for _ in range(nmembers)
+            )
+            nloads = dec.read_ulong()
+            loads = tuple(
+                (dec.read_ulong(), dec.read_ulong() / 1000.0)
+                for _ in range(nloads)
+            )
+        except (MarshalError, binascii.Error, ValueError) as exc:
+            raise ValueError(f"malformed GIOR: {exc}") from None
+        return GroupReference(
+            group_name=group_name,
+            repo_id=repo_id,
+            epoch=epoch,
+            members=members,
+            loads=loads,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"<group {self.repo_id} '{self.group_name}' epoch "
+            f"{self.epoch}, {len(self.members)} replicas>"
+        )
+
+
+def parse_reference(text: str) -> "ObjectReference | GroupReference":
+    """Parse either stringified form by its prefix."""
+    if text.startswith("GIOR:"):
+        return GroupReference.from_ior(text)
+    return ObjectReference.from_ior(text)

@@ -37,7 +37,14 @@ from repro.trace.export import (
     write_chrome_trace,
 )
 from repro.trace.metrics import Counter, Histogram, MetricsRegistry
-from repro.trace.span import NULL_SPAN, Span, TraceRecorder, span_or_null
+from repro.trace.span import (
+    NULL_SPAN,
+    Span,
+    TraceRecorder,
+    active_replica,
+    replica_scope,
+    span_or_null,
+)
 from repro.trace.view import format_timeline, summarize
 
 __all__ = [
@@ -47,9 +54,11 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "TraceRecorder",
+    "active_replica",
     "chrome_trace_events",
     "format_timeline",
     "read_chrome_trace",
+    "replica_scope",
     "span_or_null",
     "spans_from_chrome_trace",
     "summarize",

@@ -1,0 +1,17 @@
+"""Groups-suite fixtures: a clean process-wide ledger per test.
+
+The groups counters (:data:`repro.groups.stats.GLOBAL`) are
+process-wide like the sanitizer's; tests that assert on absolute
+counts need each test to start from zero.
+"""
+
+import pytest
+
+from repro.groups import stats as groups_stats
+
+
+@pytest.fixture(autouse=True)
+def _fresh_groups_ledger():
+    groups_stats.GLOBAL.reset()
+    yield
+    groups_stats.GLOBAL.reset()

@@ -1,0 +1,60 @@
+"""Consistent hashing: determinism, validation, spread, remap bound."""
+
+import pytest
+
+from repro.groups.hashring import HashRing, stable_hash
+
+KEYS = [f"object-{i}" for i in range(2000)]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        assert stable_hash("solver") == stable_hash("solver")
+        assert 0 <= stable_hash("solver") < 2**64
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestHashRing:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HashRing([])
+        with pytest.raises(ValueError, match="unique"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(["a"], vnodes=0)
+
+    def test_node_for_is_deterministic_and_a_member(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for key in KEYS[:50]:
+            owner = ring.node_for(key)
+            assert owner in {"s0", "s1", "s2"}
+            assert ring.node_for(key) == owner
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:20])
+
+    def test_spread_reaches_every_node(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        spread = ring.spread(KEYS)
+        assert sum(spread.values()) == len(KEYS)
+        # With 64 vnodes per shard the partition is roughly uniform;
+        # generous bounds keep the test hash-stable, not flaky.
+        for count in spread.values():
+            assert 0.10 * len(KEYS) < count < 0.45 * len(KEYS)
+
+    def test_adding_a_node_remaps_only_a_fraction(self):
+        # The point of consistent hashing: growing 4 -> 5 shards moves
+        # ~1/5 of the keys, not all of them.
+        before = HashRing([f"s{i}" for i in range(4)])
+        after = HashRing([f"s{i}" for i in range(5)])
+        moved = sum(
+            1 for k in KEYS if before.node_for(k) != after.node_for(k)
+        )
+        assert moved < 0.40 * len(KEYS)
+        # Keys that moved all landed on the new shard.
+        for key in KEYS:
+            if before.node_for(key) != after.node_for(key):
+                assert after.node_for(key) == "s4"

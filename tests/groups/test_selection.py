@@ -1,0 +1,123 @@
+"""Replica selection: views, policies, and the policy registry."""
+
+import pytest
+
+from repro.groups.select import (
+    GroupView,
+    LeastLoaded,
+    RoundRobin,
+    SelectionError,
+    SelectionPolicy,
+    policy_for,
+)
+from repro.orb.reference import GroupReference, ObjectReference
+from repro.orb.transport import PortAddress
+
+
+def make_ref(key):
+    return ObjectReference(
+        object_key=key,
+        repo_id="IDL:svc:1.0",
+        request_port=PortAddress(1, f"req-{key}"),
+        data_ports=(),
+        param_templates=(),
+    )
+
+
+def make_view(replica_ids=(0, 1, 2), loads=(), down=(), epoch=0):
+    group = GroupReference(
+        group_name="svc",
+        repo_id="IDL:svc:1.0",
+        epoch=epoch,
+        members=tuple(
+            (rid, make_ref(f"svc#{rid}")) for rid in replica_ids
+        ),
+        loads=tuple(loads),
+    )
+    return GroupView(group=group, down=frozenset(down))
+
+
+class TestGroupView:
+    def test_alive_is_ascending_and_skips_down(self):
+        view = make_view((2, 0, 1), down=(1,))
+        assert view.alive() == (0, 2)
+
+    def test_without_is_immutable_accumulation(self):
+        view = make_view()
+        narrowed = view.without(0).without(2)
+        assert narrowed.alive() == (1,)
+        assert view.alive() == (0, 1, 2)  # original untouched
+
+    def test_ref_and_load(self):
+        view = make_view(loads=((1, 2.5),))
+        assert view.ref(1).object_key == "svc#1"
+        assert view.load(1) == 2.5
+        assert view.load(0) is None
+
+    def test_name_and_epoch(self):
+        view = make_view(epoch=3)
+        assert view.name == "svc"
+        assert view.epoch == 3
+
+
+class TestRoundRobin:
+    def test_rotates_by_token(self):
+        view = make_view()
+        picks = [RoundRobin().choose(view, t) for t in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_down_replicas(self):
+        view = make_view(down=(0,))
+        picks = [RoundRobin().choose(view, t) for t in range(4)]
+        assert picks == [1, 2, 1, 2]
+
+    def test_no_live_replica_raises(self):
+        view = make_view(down=(0, 1, 2))
+        with pytest.raises(SelectionError, match="no live replicas"):
+            RoundRobin().choose(view, 0)
+
+
+class TestLeastLoaded:
+    def test_picks_lowest_reported_load(self):
+        view = make_view(loads=((0, 5.0), (1, 1.0), (2, 9.0)))
+        assert LeastLoaded().choose(view, 0) == 1
+        assert LeastLoaded().choose(view, 7) == 1  # token-independent
+
+    def test_unreported_counts_as_idle(self):
+        # Replica 1 never reported: an idle newcomer attracts work.
+        view = make_view(loads=((0, 2.0), (2, 3.0)))
+        assert LeastLoaded().choose(view, 0) == 1
+
+    def test_ties_rotate_by_token(self):
+        view = make_view(loads=((0, 1.0), (1, 1.0), (2, 8.0)))
+        picks = [LeastLoaded().choose(view, t) for t in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_ignores_down_replicas(self):
+        view = make_view(loads=((1, 0.0),), down=(1,))
+        assert LeastLoaded().choose(view, 0) in (0, 2)
+
+
+class TestPolicyFor:
+    def test_names_resolve(self):
+        assert isinstance(policy_for("round-robin"), RoundRobin)
+        assert isinstance(policy_for("least-loaded"), LeastLoaded)
+
+    def test_instances_pass_through(self):
+        policy = RoundRobin()
+        assert policy_for(policy) is policy
+
+    def test_custom_subclass_passes_through(self):
+        class Pinned(SelectionPolicy):
+            def choose(self, view, token):
+                return self._require_alive(view)[0]
+
+        pinned = Pinned()
+        assert policy_for(pinned) is pinned
+        assert pinned.choose(make_view(down=(0,)), 5) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown selection"):
+            policy_for("random")
+        with pytest.raises(ValueError, match="unknown selection"):
+            policy_for(42)

@@ -17,6 +17,7 @@ PY_CASES = [
     ("bad_transfer_name.py", "PD205", 5, "valid transfer methods"),
     ("bad_unagreed_invocation.py", "PD208", 7, "agree"),
     ("bad_retries_no_cache.py", "PD209", 10, "reply_cache_bytes"),
+    ("bad_group_bind.py", "PD213", 9, "fail over to a sibling"),
     ("bad_divergent_helper.py", "PD210", 11, "same collective sequence"),
     ("bad_exception_collective.py", "PD211", 9, "reconcile the handler"),
     ("bad_early_return.py", "PD212", 11, "every rank reaches"),
@@ -180,3 +181,45 @@ def test_guarded_call_on_untracked_object_is_clean():
         "        log.write('hello')\n"
     )
     assert lint_python_source(source) == []
+
+
+class TestGroupBindPolicy:
+    """PD213: group bindings whose failover provably never engages."""
+
+    def test_all_three_fail_fast_shapes_are_reported(self):
+        diagnostics = lint_file(str(FIXTURES / "bad_group_bind.py"))
+        lines = [d.line for d in diagnostics if d.rule == "PD213"]
+        assert lines == [9, 10, 13]
+
+    def test_retrying_policy_is_clean(self):
+        source = (
+            "from repro.ft.policy import FtPolicy\n"
+            "RETRY = FtPolicy(max_retries=2)\n"
+            "def run(proxy_cls, runtime):\n"
+            "    inline = proxy_cls._group_bind(\n"
+            "        'workers', runtime,\n"
+            "        ft_policy=FtPolicy(max_retries=1))\n"
+            "    named = proxy_cls._group_bind(\n"
+            "        'workers', runtime, ft_policy=RETRY)\n"
+            "    return inline, named\n"
+        )
+        assert lint_python_source(source) == []
+
+    def test_unknown_policy_provenance_is_assumed_intentional(self):
+        source = (
+            "def run(proxy_cls, runtime, policy):\n"
+            "    return proxy_cls._group_bind(\n"
+            "        'workers', runtime, ft_policy=policy)\n"
+        )
+        assert lint_python_source(source) == []
+
+    def test_singleton_binds_are_not_flagged(self):
+        source = (
+            "def run(proxy_cls, runtime):\n"
+            "    return proxy_cls._bind('solo', runtime)\n"
+        )
+        assert [
+            d
+            for d in lint_python_source(source)
+            if d.rule == "PD213"
+        ] == []

@@ -128,6 +128,59 @@ class TestNaming:
         with pytest.raises(NamingError):
             naming.unbind("example")
 
+    def test_unbind_is_host_scoped(self):
+        naming = NamingService()
+        naming.bind("example", make_ref("a"), host="host1")
+        naming.bind("example", make_ref("b"), host="host2")
+        naming.unbind("example", host="host1")
+        # The other host's registration survives and now resolves
+        # unambiguously.
+        assert naming.resolve("example").object_key == "b"
+        # The error names the host that had nothing bound.
+        with pytest.raises(
+            NamingError, match="no object bound as 'example' on host "
+            "'host1'"
+        ):
+            naming.unbind("example", host="host1")
+
+    def test_unbind_error_without_host_omits_the_host_clause(self):
+        with pytest.raises(
+            NamingError, match="no object bound as 'ghost'$"
+        ):
+            NamingService().unbind("ghost")
+
+    def test_resolve_after_unbind_equals_never_bound(self):
+        # No tombstones: an unbound name fails exactly like a name
+        # that never existed, and is immediately rebindable.
+        naming = NamingService()
+        naming.bind("example", make_ref("old"))
+        naming.unbind("example")
+        with pytest.raises(NamingError) as unbound_err:
+            naming.resolve("example")
+        with pytest.raises(NamingError) as never_err:
+            naming.resolve("example-never-bound")
+        assert str(unbound_err.value).replace(
+            "example", "X"
+        ) == str(never_err.value).replace("example-never-bound", "X")
+        naming.bind("example", make_ref("new"))
+        assert naming.resolve("example").object_key == "new"
+
+    def test_rebind_binds_fresh_names_too(self):
+        # rebind is bind-or-replace: it does not require an existing
+        # registration.
+        naming = NamingService()
+        naming.rebind("example", make_ref("a"))
+        assert naming.resolve("example").object_key == "a"
+
+    def test_ambiguity_clears_when_one_host_unbinds(self):
+        naming = NamingService()
+        naming.bind("example", make_ref("a"), host="host1")
+        naming.bind("example", make_ref("b"), host="host2")
+        with pytest.raises(NamingError, match="several hosts"):
+            naming.resolve("example")
+        naming.unbind("example", host="host2")
+        assert naming.resolve("example").object_key == "a"
+
     def test_empty_name_rejected(self):
         with pytest.raises(NamingError, match="empty"):
             NamingService().bind("", make_ref())
