@@ -1,0 +1,435 @@
+"""Client fan-in benchmark: goodput as simulated clients scale to 10k.
+
+Measures the event-loop server's capacity to absorb massive fan-in:
+``n`` simulated clients — each a distinct 64-bit client identity
+running a closed-loop, window-1 request stream — share a budget of
+real TCP connections into one serial servant, and the sweep reports
+goodput (completed requests per second) per client count.  The claim
+under test is *flatness*: the server's request path costs the same
+per request whether 100 or 10,000 clients are attached, because one
+event loop owns every socket and admission state is per-identity
+dictionaries, not per-connection threads.
+
+The clients are deliberately simulated at the frame level rather than
+through :class:`~repro.orb.proxy.ClientRuntime`: a real runtime spawns
+demux and pipeline threads, so 10k of them would benchmark the host's
+scheduler, not the server.  Each simulated client encodes real
+request frames (the same bytes a runtime sends), and replies come
+back through one shared collector port, demultiplexed by the client
+identity in the reply's request id.  The connection budget mirrors
+production fan-in shapes (many clients per socket via a gateway or
+connection pool) while keeping the benchmark inside one process's
+file-descriptor limit.
+"""
+
+from __future__ import annotations
+
+import gc
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro import ORB, compile_idl
+from repro.orb import request as wire
+from repro.orb.naming import NamingService
+from repro.orb.request import RequestMessage
+from repro.orb.server import ServerConfig
+from repro.orb.socketnet import _LENGTH, SocketFabric, SocketPortAddress
+from repro.orb.transfer import plain_body_encoder, request_slots
+from repro.orb.transport import KIND_REQUEST
+
+CLIENTS_IDL = """
+interface fanin {
+    long bump(in long x);
+};
+"""
+
+#: Simulated-client counts swept by the full benchmark.
+DEFAULT_CLIENTS = [100, 500, 1000, 2000, 5000, 10000]
+#: Total completed requests per point (split across the clients, at
+#: least two per client so every identity exercises the closed loop).
+DEFAULT_REQUESTS = 20000
+#: TCP connection budget: identities are multiplexed over at most
+#: this many sockets, keeping two fd's per connection (both ends live
+#: in this process) inside the typical ``ulimit -n``.
+DEFAULT_CONNECTIONS = 1024
+
+#: CI smoke variant: small enough for a shared runner's default
+#: 1024-fd soft limit and a sub-minute budget.
+SMOKE_CLIENTS = [50, 200, 500]
+SMOKE_REQUESTS = 3000
+SMOKE_CONNECTIONS = 128
+
+#: Gate: every point's goodput must stay within this ratio of the
+#: smallest (baseline) point's.
+DEFAULT_MIN_RATIO = 0.8
+DEFAULT_TIMEOUT_S = 120.0
+DEFAULT_DISPATCH_WORKERS = 4
+#: Measured closed-loop rounds per point (best goodput wins, after
+#: one untimed warmup round) — single-round numbers on a busy host
+#: carry 10-15% scheduler noise.
+DEFAULT_REPEATS = 3
+SMOKE_REPEATS = 2
+
+
+@dataclass(frozen=True)
+class ClientPoint:
+    """One swept client count."""
+
+    clients: int
+    connections: int
+    requests: int
+    seconds: float
+    goodput_rps: float
+    errors: int
+    #: ``orb.stats()["server"]`` request counters at point end.
+    server_requests: dict
+
+
+def _compiled_idl() -> Any:
+    return compile_idl(CLIENTS_IDL, module_name="bench_clients_idl")
+
+
+def _make_servant_factory(idl: Any) -> Any:
+    class Fanin(idl.fanin_skel):
+        def bump(self, x):
+            return int(x) + 1
+
+    return lambda ctx: Fanin()
+
+
+class _SimulatedClients:
+    """The client side of one point: identities, frames, collector."""
+
+    def __init__(
+        self,
+        idl: Any,
+        n_clients: int,
+        connections: int,
+        dest: Any,
+        reply_port: Any,
+        source: SocketPortAddress,
+    ) -> None:
+        self._n = n_clients
+        self._dest = dest
+        self._reply_port = reply_port
+        self._source = source
+        self._slots = request_slots(idl.fanin._operations["bump"])
+        self._sent = [0] * n_clients
+        self._quota = [0] * n_clients
+        self._socks: list[socket.socket] = []
+        self._locks: list[threading.Lock] = []
+        self.completed = 0
+        self.errors = 0
+        self.done = threading.Event()
+        for _ in range(min(connections, n_clients)):
+            sock = socket.create_connection(
+                (dest.host, dest.tcp_port), timeout=10
+            )
+            sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._socks.append(sock)
+            self._locks.append(threading.Lock())
+
+    @property
+    def connections(self) -> int:
+        return len(self._socks)
+
+    def _frame(self, client: int, seq: int) -> bytes:
+        message = RequestMessage(
+            request_id=((client + 1) << 32) | seq,
+            object_key=self._dest_key,
+            operation="bump",
+            reply_port=self._reply_port.address,
+            body=plain_body_encoder(self._slots, {"x": seq}),
+        )
+        payload = b"".join(
+            bytes(s) for s in message.encode_segments()
+        )
+        segments = SocketFabric._encode_frame(
+            self._source, self._dest, KIND_REQUEST, payload,
+            len(payload),
+        )
+        total = sum(len(s) for s in segments)
+        return _LENGTH.pack(total) + b"".join(
+            bytes(s) for s in segments
+        )
+
+    _dest_key = "fanin"
+
+    def send_next(self, client: int) -> None:
+        seq = self._sent[client]
+        self._sent[client] += 1
+        frame = self._frame(client, seq)
+        index = client % len(self._socks)
+        with self._locks[index]:
+            self._socks[index].sendall(frame)
+
+    def _collect(self, target: int, timeout_s: float) -> None:
+        """Drain replies until every client finished its quota."""
+        deadline = time.monotonic() + timeout_s
+        while self.completed < target:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                _src, _kind, payload = self._reply_port.recv(
+                    timeout=remaining
+                )
+            except Exception:
+                break
+            try:
+                reply = wire.decode_reply(payload)
+            except Exception:
+                self.errors += 1
+                continue
+            if reply.status != wire.STATUS_OK:
+                self.errors += 1
+            client = (reply.request_id >> 32) - 1
+            self.completed += 1
+            if (
+                0 <= client < self._n
+                and self._sent[client] < self._quota[client]
+            ):
+                self.send_next(client)
+        self.done.set()
+
+    def run_round(
+        self, per_client: int, timeout_s: float
+    ) -> tuple[float, int, int]:
+        """One closed-loop round: every client completes
+        ``per_client`` window-1 requests.  Returns (elapsed seconds,
+        completed replies, errors)."""
+        self.completed = 0
+        self.errors = 0
+        self.done = threading.Event()
+        for client in range(self._n):
+            self._quota[client] += per_client
+        target = per_client * self._n
+        collector = threading.Thread(
+            target=self._collect,
+            args=(target, timeout_s),
+            name="bench-fanin-collector",
+            daemon=True,
+        )
+        start = time.perf_counter()
+        collector.start()
+        # Window-1 closed loop: one request per client to start; each
+        # reply triggers that client's next send from the collector.
+        for client in range(self._n):
+            self.send_next(client)
+        self.done.wait(timeout_s)
+        elapsed = time.perf_counter() - start
+        collector.join(timeout=5.0)
+        return elapsed, self.completed, self.errors
+
+    def close(self) -> None:
+        for sock in self._socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _run_point(
+    idl: Any,
+    n_clients: int,
+    total_requests: int,
+    connections: int,
+    dispatch_workers: int,
+    repeats: int,
+    timeout_s: float,
+    server_config: ServerConfig,
+) -> ClientPoint:
+    naming = NamingService()
+    per_client = max(2, total_requests // n_clients)
+    target = per_client * n_clients
+    with SocketFabric(
+        "bench-fanin-server", server=server_config
+    ) as server_fabric, SocketFabric(
+        "bench-fanin-client"
+    ) as client_fabric:
+        server = ORB(
+            "bench-fanin-server",
+            fabric=server_fabric,
+            naming=naming,
+            timeout=30.0,
+        )
+        with server:
+            server.serve(
+                "fanin",
+                _make_servant_factory(idl),
+                nthreads=1,
+                dispatch_workers=dispatch_workers,
+            )
+            ref = naming.resolve("fanin")
+            reply_port = client_fabric.open_port("bench:replies")
+            source = SocketPortAddress(
+                client_fabric.host,
+                client_fabric.tcp_port,
+                0,
+                "bench-fanin",
+            )
+            sim = _SimulatedClients(
+                idl,
+                n_clients,
+                connections,
+                ref.request_port,
+                reply_port,
+                source,
+            )
+            try:
+                # Untimed warmup: primes the connections, the server's
+                # operation caches, and every identity's admission
+                # entry before the clock starts.
+                sim.run_round(1, timeout_s)
+                best_rps = 0.0
+                best_seconds = 0.0
+                errors = 0
+                gc_was_enabled = gc.isenabled()
+                gc.collect()
+                gc.disable()
+                try:
+                    for _ in range(max(1, repeats)):
+                        seconds, completed, round_errors = (
+                            sim.run_round(per_client, timeout_s)
+                        )
+                        errors += round_errors + (target - completed)
+                        rps = (
+                            (completed - round_errors) / seconds
+                            if seconds > 0
+                            else 0.0
+                        )
+                        if rps > best_rps:
+                            best_rps = rps
+                            best_seconds = seconds
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                server_requests = server.stats()["server"]["requests"]
+            finally:
+                sim.close()
+            return ClientPoint(
+                clients=n_clients,
+                connections=sim.connections,
+                requests=target,
+                seconds=best_seconds,
+                goodput_rps=best_rps,
+                errors=errors,
+                server_requests=dict(server_requests),
+            )
+
+
+def run_clients(
+    clients: list[int] | None = None,
+    total_requests: int = DEFAULT_REQUESTS,
+    connections: int = DEFAULT_CONNECTIONS,
+    dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
+    repeats: int = DEFAULT_REPEATS,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    server_config: ServerConfig | None = None,
+    verbose: bool = False,
+) -> list[ClientPoint]:
+    """Sweep the client counts; one fresh server per point, one
+    untimed warmup round, best goodput of ``repeats`` rounds."""
+    idl = _compiled_idl()
+    points = []
+    for n in clients if clients is not None else DEFAULT_CLIENTS:
+        point = _run_point(
+            idl,
+            n,
+            total_requests,
+            connections,
+            dispatch_workers,
+            repeats,
+            timeout_s,
+            server_config
+            if server_config is not None
+            else ServerConfig(),
+        )
+        points.append(point)
+        if verbose:
+            print(
+                f"  clients={point.clients:>6} "
+                f"conns={point.connections:>5} "
+                f"goodput={point.goodput_rps:>9.0f} req/s "
+                f"errors={point.errors}"
+            )
+    return points
+
+
+def summarize(points: list[ClientPoint]) -> dict:
+    """Headline numbers: the baseline (smallest) point and how flat
+    the curve stays relative to it."""
+    if not points:
+        return {}
+    baseline = points[0]
+    worst = min(
+        (p.goodput_rps / baseline.goodput_rps for p in points)
+        if baseline.goodput_rps > 0
+        else [0.0]
+    )
+    peak = max(points, key=lambda p: p.clients)
+    return {
+        "baseline_clients": baseline.clients,
+        "baseline_goodput_rps": round(baseline.goodput_rps, 1),
+        "max_clients": peak.clients,
+        "goodput_at_max_rps": round(peak.goodput_rps, 1),
+        "min_ratio_vs_baseline": round(worst, 3),
+        "total_errors": sum(p.errors for p in points),
+    }
+
+
+def points_as_dicts(points: list[ClientPoint]) -> list[dict]:
+    """JSON-ready form of the sweep, one dict per point."""
+    from dataclasses import asdict
+
+    return [asdict(p) for p in points]
+
+
+def gate_failures(
+    points: list[ClientPoint], min_ratio: float = DEFAULT_MIN_RATIO
+) -> list[str]:
+    """CI gate: zero errors, and every point's goodput within
+    ``min_ratio`` of the smallest point's."""
+    failures = []
+    if not points:
+        return ["no points measured"]
+    baseline = points[0]
+    if baseline.goodput_rps <= 0:
+        return [f"baseline point ({baseline.clients} clients) made no progress"]
+    for point in points:
+        if point.errors:
+            failures.append(
+                f"{point.clients} clients: {point.errors} errors "
+                f"(expected 0)"
+            )
+        ratio = point.goodput_rps / baseline.goodput_rps
+        if ratio < min_ratio:
+            failures.append(
+                f"{point.clients} clients: goodput "
+                f"{point.goodput_rps:.0f} req/s is {ratio:.2f}x the "
+                f"{baseline.clients}-client baseline "
+                f"{baseline.goodput_rps:.0f} req/s "
+                f"(gate {min_ratio:.2f}x)"
+            )
+    return failures
+
+
+def format_clients(points: list[ClientPoint]) -> str:
+    """Render the sweep as an aligned text table."""
+    lines = [
+        f"{'clients':>8} {'conns':>6} {'requests':>9} "
+        f"{'goodput req/s':>14} {'vs base':>8} {'errors':>7}"
+    ]
+    base = points[0].goodput_rps if points else 0.0
+    for p in points:
+        ratio = p.goodput_rps / base if base > 0 else 0.0
+        lines.append(
+            f"{p.clients:>8} {p.connections:>6} {p.requests:>9} "
+            f"{p.goodput_rps:>14.0f} {ratio:>7.2f}x {p.errors:>7}"
+        )
+    return "\n".join(lines)

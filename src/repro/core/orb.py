@@ -108,6 +108,10 @@ class ORB:
         self._copy_account = CopyAccount()
         register_account(self._copy_account)
         self._fabric_meter: Any = None
+        governor = getattr(self.fabric, "governor", None)
+        if governor is not None and self.trace is not None:
+            governor.attach_metrics(self.trace.metrics)
+            governor.attach_trace(self.trace)
         if self.trace is not None:
             # Fold the ORB's own snapshot into the registry so
             # ``orb.trace.metrics.snapshot()`` is the one-stop view;
@@ -309,7 +313,9 @@ class ORB:
         segment counters from the process backend's pool), ``groups``
         (replicated-group counters — binds, selections, failovers —
         plus the per-group membership/epoch board; see
-        :mod:`repro.groups`), and — when
+        :mod:`repro.groups`), ``server`` (socket-fabric servers only:
+        the event loop's admission/backpressure counters; see
+        ``docs/scaling.md``), and — when
         tracing is on — ``trace`` (recorder occupancy plus the
         counters/histograms of the :mod:`repro.trace` metrics
         registry).  See ``docs/observability.md`` for the full schema.
@@ -359,6 +365,12 @@ class ORB:
             # and the per-group membership board.
             "groups": groups_stats.stats(),
         }
+        server_stats = getattr(self.fabric, "server_stats", None)
+        if callable(server_stats):
+            # Socket-fabric servers: event-loop admission/backpressure
+            # counters (connections, in-flight requests, paused
+            # clients).  See docs/scaling.md.
+            snapshot["server"] = server_stats()
         if self.trace is not None:
             snapshot["trace"] = {
                 "recorder": self.trace.stats(),

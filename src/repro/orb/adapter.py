@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -815,10 +816,12 @@ class _RequestPrefetcher:
         name: str,
         depth: int = _PREFETCH_DEPTH,
         cache: ReplyCache | None = None,
+        governor: Any = None,
     ) -> None:
         self._port = port
         self._comm = comm
         self._cache = cache
+        self._governor = governor
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=depth)
         self._thread = threading.Thread(
             target=self._run, name=f"{name}:prefetch", daemon=True
@@ -874,7 +877,13 @@ class _RequestPrefetcher:
                 message = wire.decode_request(payload)
             except Exception:
                 # Garbage on the wire must not kill the object: drop
-                # the datagram and keep serving.
+                # the datagram and keep serving — but release its
+                # admission slot if the header was sound enough for
+                # the event loop to have counted it.
+                if self._governor is not None:
+                    routing = wire.peek_request(payload)
+                    if routing is not None:
+                        self._governor.request_done(routing.request_id)
                 continue
             if self._cache is not None:
                 verdict = self._cache.admit(message.request_id)
@@ -882,10 +891,15 @@ class _RequestPrefetcher:
                     # Already executed: answer from the cache without
                     # touching the servant (effectively-once).
                     self._replay(message)
+                    if self._governor is not None:
+                        self._governor.request_done(message.request_id)
                     continue
                 if verdict == "in-progress":
                     # The original attempt is still executing; its
-                    # reply will answer the retry too.
+                    # reply will answer the retry too.  The retry's
+                    # own admission slot is released here.
+                    if self._governor is not None:
+                        self._governor.request_done(message.request_id)
                     continue
             self._relay(message.without_body())
             self._queue.put(message)
@@ -957,15 +971,24 @@ class _DispatchPool:
 
     Two policies, selected per object:
 
-    - ``"client-fifo"`` (the default): requests are hashed onto a
-      worker by the client identity in the request id's high bits —
-      one client's requests execute in send order, different clients'
-      requests overlap.
+    - ``"client-fifo"`` (the default): per-client fair queues keyed by
+      the client identity in the request id's high bits.  One client's
+      requests execute in send order (an identity is never on two
+      workers at once), and a ready-ring round-robins workers across
+      identities — a client with a thousand queued requests cannot
+      starve a client with one.  Any worker may pick up any client, so
+      ``dispatch_workers`` bounds concurrency, not placement (the old
+      hash-onto-a-worker scheme pinned clients to workers, which under
+      fan-in left workers idle while a busy worker's queue grew).
     - ``"concurrent"``: all workers drain one shared queue, so even a
       single pipelined client's requests execute concurrently, like a
       CORBA ORB-controlled-threads POA.  No cross-request ordering is
       guaranteed; meant for stateless or internally synchronized
       servants.
+
+    When a :class:`~repro.orb.server.ServerGovernor` is attached,
+    every request's exit from a worker releases its admission slot —
+    the hook backpressure relies on to resume paused clients.
 
     Collective groups never use the pool; their engine runs
     collectives that need every rank in lockstep.
@@ -977,16 +1000,25 @@ class _DispatchPool:
         nworkers: int,
         name: str,
         policy: str = "client-fifo",
+        governor: Any = None,
     ) -> None:
         self._engine = engine
-        nqueues = 1 if policy == "concurrent" else nworkers
-        self._queues: list[queue.Queue] = [
-            queue.Queue() for _ in range(nqueues)
-        ]
+        self._policy = policy
+        self._governor = governor
+        self._cond = threading.Condition()
+        self._stopping = False
+        #: client-fifo state: identity -> queued requests, ready-ring
+        #: of identities with runnable work, identities currently on a
+        #: worker, identities already in the ring (membership mirror).
+        self._queues: dict[int, deque[RequestMessage]] = {}
+        self._ready: deque[int] = deque()
+        self._ringed: set[int] = set()
+        self._active: set[int] = set()
+        #: concurrent-policy state: one shared run queue.
+        self._shared: deque[RequestMessage] = deque()
         self._threads = [
             threading.Thread(
                 target=self._run,
-                args=(self._queues[i % nqueues],),
                 name=f"{name}:dispatch{i}",
                 daemon=True,
             )
@@ -996,24 +1028,76 @@ class _DispatchPool:
             thread.start()
 
     def dispatch(self, request: RequestMessage) -> None:
-        index = (request.request_id >> 32) % len(self._queues)
-        self._queues[index].put(request)
+        with self._cond:
+            if self._policy == "concurrent":
+                self._shared.append(request)
+            else:
+                identity = request.request_id >> 32
+                self._queues.setdefault(identity, deque()).append(
+                    request
+                )
+                if (
+                    identity not in self._active
+                    and identity not in self._ringed
+                ):
+                    self._ready.append(identity)
+                    self._ringed.add(identity)
+            self._cond.notify()
 
-    def _run(self, q: queue.Queue) -> None:
+    def _take(self) -> tuple[int | None, RequestMessage] | None:
+        """Next runnable request, or ``None`` to exit (stopping and
+        fully drained)."""
+        with self._cond:
+            while True:
+                if self._shared:
+                    return None, self._shared.popleft()
+                if self._ready:
+                    identity = self._ready.popleft()
+                    self._ringed.discard(identity)
+                    q = self._queues[identity]
+                    request = q.popleft()
+                    if not q:
+                        del self._queues[identity]
+                    self._active.add(identity)
+                    return identity, request
+                if self._stopping and not self._queues:
+                    return None
+                self._cond.wait()
+
+    def _done(self, identity: int) -> None:
+        """An identity's request finished; if it has more queued work,
+        it rejoins the *back* of the ready ring (round-robin)."""
+        with self._cond:
+            self._active.discard(identity)
+            if identity in self._queues and identity not in self._ringed:
+                self._ready.append(identity)
+                self._ringed.add(identity)
+            self._cond.notify_all()
+
+    def _run(self) -> None:
         while True:
-            request = q.get()
-            if request is None:
+            item = self._take()
+            if item is None:
                 return
+            identity, request = item
             try:
                 self._engine.execute(request)
             except Exception:
                 # Even the error reply failed to send (client gone):
                 # there is nobody left to report to.
                 pass
+            finally:
+                if self._governor is not None:
+                    self._governor.request_done(request.request_id)
+                if identity is not None:
+                    self._done(identity)
 
     def stop(self, timeout: float = 10.0) -> None:
-        for i in range(len(self._threads)):
-            self._queues[i % len(self._queues)].put(None)
+        """Graceful drain: workers finish every queued request, then
+        exit."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout)
 
@@ -1243,6 +1327,15 @@ class ServantGroup:
         engine = _ServerEngine(ctx, servant, cache=self.reply_cache)
         prefetcher: _RequestPrefetcher | None = None
         pool: _DispatchPool | None = None
+        # Admission/backpressure accounting lives on the fabric's
+        # server governor; only rank 0 (the communicating thread)
+        # reports completions, so each request is released exactly
+        # once.
+        governor = (
+            getattr(self.fabric, "governor", None)
+            if rank_ctx.rank == 0
+            else None
+        )
         if rank_ctx.rank == 0:
             assert self._request_port is not None
             prefetcher = _RequestPrefetcher(
@@ -1250,6 +1343,7 @@ class ServantGroup:
                 ctx.comm,
                 f"server:{self.name}",
                 cache=self.reply_cache,
+                governor=governor,
             )
             if ctx.rts is not None:
                 # Collective group: reply transmission moves off the
@@ -1265,6 +1359,7 @@ class ServantGroup:
                     self._dispatch_workers,
                     f"server:{self.name}",
                     policy=self._dispatch_policy,
+                    governor=governor,
                 )
 
         def service_pending(max_requests: int) -> int:
@@ -1297,7 +1392,11 @@ class ServantGroup:
                             ctx.comm.recv(source=0, tag=_TAG_HEADER)
                 if message is None:
                     break
-                engine.execute(message)
+                try:
+                    engine.execute(message)
+                finally:
+                    if governor is not None:
+                        governor.request_done(message.request_id)
                 processed += 1
             return processed
 
@@ -1311,7 +1410,11 @@ class ServantGroup:
                 if pool is not None:
                     pool.dispatch(request)
                 else:
-                    engine.execute(request)
+                    try:
+                        engine.execute(request)
+                    finally:
+                        if governor is not None:
+                            governor.request_done(request.request_id)
                 served += 1
         finally:
             if pool is not None:

@@ -159,6 +159,56 @@ class RequestMessage:
         return None
 
 
+@dataclass(frozen=True)
+class RequestRouting:
+    """The head of a request frame — just the fields server-side
+    admission control and backpressure need, decoded without touching
+    the data ports, layouts, templates or body."""
+
+    request_id: int
+    trace_id: int
+    operation: str
+    oneway: bool
+    reply_port: PortAddress | None
+
+    @property
+    def client_identity(self) -> int:
+        """The 64-bit id's high half: the sending client runtime."""
+        return self.request_id >> 32
+
+
+def peek_request(data: Any) -> RequestRouting | None:
+    """Partially decode a request frame for admission decisions.
+
+    Reads only through the reply port — a few dozen bytes — so the
+    event loop can attribute a frame to a client identity and decide
+    admission before the full (possibly large) message is decoded by
+    the dispatch layer.  Returns ``None`` for anything that is not a
+    well-formed request head; such frames are delivered unaccounted
+    and dropped downstream like any other garbage.
+    """
+    try:
+        dec = CdrDecoder(data)
+        request_id = int(dec.read(_TC_ULONGLONG))
+        trace_id = int(dec.read(_TC_ULONGLONG))
+        dec.read_string()  # object_key
+        operation = dec.read_string()
+        mode = dec.read_string()
+        if mode not in (MODE_CENTRALIZED, MODE_MULTIPORT):
+            return None
+        oneway = dec.read_boolean()
+        reply_port = _read_port(dec)
+    except Exception:
+        return None
+    return RequestRouting(
+        request_id=request_id,
+        trace_id=trace_id,
+        operation=operation,
+        oneway=oneway,
+        reply_port=reply_port,
+    )
+
+
 def decode_request(data: bytes) -> RequestMessage:
     """Parse a request message off the wire."""
     dec = CdrDecoder(data)

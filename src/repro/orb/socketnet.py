@@ -8,6 +8,15 @@ endpoint and demultiplexes frames onto its local ports; addresses
 (:class:`SocketPortAddress`) carry the TCP endpoint, so they remain
 routable after travelling inside an IOR.
 
+The receive side is a single-threaded event loop
+(:class:`_ServerLoop`): one ``selectors`` loop owns the listening
+socket and every accepted connection, multiplexing any number of
+clients without a thread per connection.  A
+:class:`~repro.orb.server.ServerGovernor` gates what the loop admits —
+connection and request admission control, and per-client backpressure
+(the loop stops reading a client's socket while its dispatch queue is
+over budget) — see ``docs/scaling.md``.
+
 A companion naming protocol (:class:`NamingServer`,
 :class:`RemoteNamingClient`) exposes one process's
 :class:`~repro.orb.naming.NamingService` to the others, completing the
@@ -24,9 +33,12 @@ pickled off the wire, so a hostile peer can at worst produce a
 
 from __future__ import annotations
 
+import selectors
 import socket
 import struct
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -34,10 +46,13 @@ from repro.cdr.accounting import copied
 from repro.cdr.decoder import CdrDecoder
 from repro.cdr.encoder import CdrEncoder
 from repro.cdr.typecodes import MarshalError
+from repro.orb import request as wire
 from repro.orb.naming import NamingError, NamingService
 from repro.orb.reference import ObjectReference
+from repro.orb.server import KIND_BUSY, ServerConfig, ServerGovernor
 from repro.san import enabled as _san_enabled
 from repro.orb.transport import (
+    KIND_REQUEST,
     Meter,
     Port,
     TransportError,
@@ -230,7 +245,11 @@ class SocketFabric:
         name: str = "socket-fabric",
         bind_host: str = "127.0.0.1",
         bind_port: int = 0,
+        server: ServerConfig | None = None,
     ) -> None:
+        """``server`` tunes fan-in admission control and backpressure
+        (:class:`~repro.orb.server.ServerConfig`); the default admits
+        everything but keeps per-client backpressure on."""
         self.name = name
         self._lock = threading.Lock()
         self._ports: dict[int, Port] = {}
@@ -238,7 +257,7 @@ class SocketFabric:
         self._meters: list[Meter] = []
         self._connections: dict[tuple[str, int], socket.socket] = {}
         self._conn_locks: dict[tuple[str, int], threading.Lock] = {}
-        #: Incoming frames refused by the reader side (zero-length or
+        #: Incoming frames refused by the receive path (zero-length or
         #: above :data:`_MAX_FRAME`); also reported to meters under the
         #: synthetic :data:`DROP_ADDRESS` with kind ``"drop"``.
         self.dropped_frames = 0
@@ -247,12 +266,18 @@ class SocketFabric:
             (bind_host, bind_port), reuse_port=False
         )
         self.host, self.tcp_port = self._server.getsockname()[:2]
-        self._acceptor = threading.Thread(
-            target=self._accept_loop,
-            name=f"{name}-accept",
-            daemon=True,
+        #: Fan-in governance (admission + backpressure); the dispatch
+        #: layer discovers it via ``getattr(fabric, "governor", None)``.
+        self.governor = ServerGovernor(
+            server if server is not None else ServerConfig(), name=name
         )
-        self._acceptor.start()
+        self.governor.attach_fabric(self)
+        self._loop = _ServerLoop(self, self._server, self.governor, name)
+        self.governor.attach_loop(self._loop)
+
+    def server_stats(self) -> dict[str, Any]:
+        """The governor's counters — ``orb.stats()["server"]``."""
+        return self.governor.snapshot()
 
     # -- fabric contract ---------------------------------------------------
 
@@ -385,52 +410,6 @@ class SocketFabric:
                     f"send to {endpoint[0]}:{endpoint[1]} failed: {exc}"
                 ) from None
 
-    def _accept_loop(self) -> None:
-        while not self._closed:
-            try:
-                conn, _peer = self._server.accept()
-            except OSError:
-                return  # server socket closed
-            _tune_socket(conn)
-            threading.Thread(
-                target=self._reader_loop,
-                args=(conn,),
-                name=f"{self.name}-reader",
-                daemon=True,
-            ).start()
-
-    def _reader_loop(self, conn: socket.socket) -> None:
-        buffers = _ConnBuffers()
-        try:
-            while True:
-                length = _read_frame_length(conn, buffers.header)
-                if length == 0 or length > _MAX_FRAME:
-                    # Malformed or oversized: count the drop, drain the
-                    # declared bytes so the stream stays framed, and
-                    # keep the connection alive.
-                    self._record_drop(length)
-                    if length:
-                        _drain(conn, length)
-                    continue
-                buf, pooled = buffers.take(length)
-                view = memoryview(buf)[:length]
-                _recv_exact_into(conn, view)
-                try:
-                    self._dispatch_frame(
-                        view.toreadonly(), copy_payload=pooled
-                    )
-                except (MarshalError, TransportError):
-                    # Drop garbage, keep the connection — but count it
-                    # so ``orb.stats()`` surfaces silent frame loss.
-                    self._record_drop(length)
-                del view
-                if pooled:
-                    buffers.give(buf)
-        except (ConnectionError, OSError):
-            pass
-        finally:
-            conn.close()
-
     def _record_drop(self, length: int) -> None:
         with self._lock:
             self.dropped_frames += 1
@@ -461,7 +440,7 @@ class SocketFabric:
         self._deliver_local(dest_port_id, src, kind, payload)
 
     def close(self) -> None:
-        """Stop accepting, close all connections and local ports."""
+        """Stop the event loop, close all connections and local ports."""
         with self._lock:
             if self._closed:
                 return
@@ -469,7 +448,10 @@ class SocketFabric:
             connections = list(self._connections.values())
             self._connections.clear()
             ports = list(self._ports.values())
+        self._loop.close()
+        self._loop.join()
         self._server.close()
+        self.governor.close()
         for sock in connections:
             sock.close()
         for port in ports:
@@ -481,6 +463,466 @@ class SocketFabric:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# The server event loop
+# ---------------------------------------------------------------------------
+
+
+class _ServerConnection:
+    """Per-connection receive state for the event loop: the framing
+    state machine (header → body → header, with a drain detour for
+    refused frames) plus the pooled buffers and the client identities
+    seen on this connection."""
+
+    __slots__ = (
+        "sock",
+        "buffers",
+        "phase",
+        "have",
+        "length",
+        "body",
+        "view",
+        "pooled",
+        "drain_left",
+        "scratch",
+        "identities",
+        "pause_depth",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffers = _ConnBuffers()
+        self.phase = "header"
+        self.have = 0
+        self.length = 0
+        self.body: bytearray | None = None
+        self.view: memoryview | None = None
+        self.pooled = False
+        self.drain_left = 0
+        self.scratch: memoryview | None = None
+        #: Client identities (request id high bits) whose requests
+        #: arrived here — the unit backpressure pauses.
+        self.identities: set[int] = set()
+        #: How many of those identities are currently paused; the
+        #: socket leaves the selector while this is non-zero.
+        self.pause_depth = 0
+
+
+class _ServerLoop:
+    """One thread, every client socket: the fan-in receive path.
+
+    Replaces the thread-per-connection reader model: a ``selectors``
+    loop owns the listening socket and all accepted connections,
+    running the same framing state machine the blocking readers ran —
+    pooled buffers for small frames, dedicated buffers handed to the
+    payload views for large ones, drop accounting for refused frames —
+    but across any number of sockets.  Request frames are peeked
+    (:func:`repro.orb.request.peek_request`) so the attached
+    :class:`~repro.orb.server.ServerGovernor` can attribute them to a
+    client identity, refuse them, or pause the socket.
+
+    Thread contract: everything touching the selector or connection
+    state runs on the loop thread.  Cross-thread requests (resume,
+    close) go through a command queue woken by a socketpair.
+    """
+
+    #: Frames serviced per connection per wakeup before yielding to
+    #: other ready sockets (fairness under a busy stream).
+    _FRAMES_PER_WAKE = 16
+
+    #: How often paused sockets are probed for a silent disconnect
+    #: (they are out of the selector, so EOF needs polling), and the
+    #: idle ``select`` timeout.
+    _SWEEP_INTERVAL = 0.5
+
+    def __init__(
+        self,
+        fabric: SocketFabric,
+        server_sock: socket.socket,
+        governor: ServerGovernor | None,
+        name: str,
+    ) -> None:
+        self._fabric = fabric
+        self._governor = governor
+        self._server = server_sock
+        server_sock.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._commands: deque[tuple[str, Any]] = deque()
+        self._conns: set[_ServerConnection] = set()
+        self._by_identity: dict[int, set[_ServerConnection]] = {}
+        self._closed = False
+        self._busy_frame = self._make_busy_frame()
+        self._selector.register(
+            server_sock, selectors.EVENT_READ, ("accept", None)
+        )
+        self._selector.register(
+            self._wake_r, selectors.EVENT_READ, ("wake", None)
+        )
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _make_busy_frame(self) -> bytes:
+        """The one-frame NACK written on a connection refused by
+        admission control (kind :data:`KIND_BUSY`, destination port 0
+        — no real port, protocol-aware clients read it raw)."""
+        src = SocketPortAddress(
+            self._fabric.host, self._fabric.tcp_port, 0, "server-busy"
+        )
+        payload = b"server at max connections"
+        segments = SocketFabric._encode_frame(
+            src,
+            SocketPortAddress("", 0, 0),
+            KIND_BUSY,
+            payload,
+            len(payload),
+        )
+        total = sum(len(s) for s in segments)
+        return _LENGTH.pack(total) + b"".join(
+            bytes(s) for s in segments
+        )
+
+    # -- cross-thread interface ---------------------------------------------
+
+    def request_resume(self, identity: int) -> None:
+        """Resume reading a paused client's socket(s); callable from
+        any thread."""
+        self._push_command(("resume", identity))
+
+    def close(self) -> None:
+        self._push_command(("close", None))
+
+    def join(self, timeout: float = 5.0) -> None:
+        self._thread.join(timeout)
+
+    def _push_command(self, command: tuple[str, Any]) -> None:
+        self._commands.append(command)
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:
+            pass
+
+    # -- loop-thread interface (governor calls during admit) ----------------
+
+    def pause(self, identity: int) -> None:
+        """Stop reading every socket this identity sends on.  Loop
+        thread only (the governor calls it inside ``admit_request``,
+        which the loop itself invoked)."""
+        for conn in self._by_identity.get(identity, ()):
+            conn.pause_depth += 1
+            if conn.pause_depth == 1:
+                try:
+                    self._selector.unregister(conn.sock)
+                except (KeyError, ValueError):
+                    pass
+
+    def _resume(self, identity: int) -> None:
+        for conn in self._by_identity.get(identity, ()):
+            if conn.pause_depth == 0:
+                continue
+            conn.pause_depth -= 1
+            if conn.pause_depth == 0 and conn in self._conns:
+                try:
+                    self._selector.register(
+                        conn.sock, selectors.EVENT_READ, ("conn", conn)
+                    )
+                except (KeyError, ValueError, OSError):
+                    pass
+                # Level-triggered: bytes that arrived while paused
+                # make the very next ``select`` return this socket.
+
+    # -- the loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        next_sweep = time.monotonic() + self._SWEEP_INTERVAL
+        while True:
+            try:
+                events = self._selector.select(
+                    timeout=self._SWEEP_INTERVAL
+                )
+            except OSError:
+                break
+            for key, _mask in events:
+                tag, conn = key.data
+                if tag == "accept":
+                    self._accept()
+                elif tag == "wake":
+                    self._drain_wake()
+                else:
+                    self._service(conn)
+            self._run_commands()
+            if self._closed:
+                break
+            now = time.monotonic()
+            if now >= next_sweep:
+                next_sweep = now + self._SWEEP_INTERVAL
+                self._sweep_paused()
+        self._teardown()
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError, OSError):
+            pass
+
+    def _run_commands(self) -> None:
+        while self._commands:
+            tag, arg = self._commands.popleft()
+            if tag == "resume":
+                self._resume(arg)
+            elif tag == "close":
+                self._closed = True
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _peer = self._server.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # server socket closed
+            if self._governor is not None and (
+                not self._governor.on_connection()
+            ):
+                # Refused: one BUSY frame (fits the empty socket
+                # buffer, so the non-blocking send cannot stall the
+                # loop), then close — a fast NACK, not a hang.
+                try:
+                    sock.setblocking(False)
+                    sock.send(self._busy_frame)
+                except OSError:
+                    pass
+                sock.close()
+                continue
+            _tune_socket(sock)
+            sock.setblocking(False)
+            conn = _ServerConnection(sock)
+            self._conns.add(conn)
+            self._selector.register(
+                sock, selectors.EVENT_READ, ("conn", conn)
+            )
+
+    def _service(self, conn: _ServerConnection) -> None:
+        """Advance one connection's framing state machine until the
+        socket would block or the per-wake frame budget is spent."""
+        sock = conn.sock
+        frames = 0
+        while frames < self._FRAMES_PER_WAKE:
+            if conn.phase == "drain":
+                if conn.scratch is None:
+                    conn.scratch = memoryview(
+                        bytearray(
+                            min(conn.drain_left, _POOL_BUFFER_SIZE)
+                        )
+                    )
+                want = min(conn.drain_left, len(conn.scratch))
+                try:
+                    n = sock.recv_into(conn.scratch[:want])
+                except (BlockingIOError, InterruptedError):
+                    return
+                except OSError:
+                    self._close_conn(conn)
+                    return
+                if n == 0:
+                    self._close_conn(conn)
+                    return
+                conn.drain_left -= n
+                if conn.drain_left == 0:
+                    conn.scratch = None
+                    conn.phase = "header"
+                    conn.have = 0
+                continue
+            if conn.phase == "header":
+                target = memoryview(conn.buffers.header)
+            else:
+                assert conn.view is not None
+                target = conn.view
+            try:
+                n = sock.recv_into(target[conn.have:])
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+            if n == 0:
+                self._close_conn(conn)
+                return
+            copied(n)
+            conn.have += n
+            if conn.have < len(target):
+                continue
+            if conn.phase == "header":
+                (length,) = _LENGTH.unpack(conn.buffers.header)
+                conn.have = 0
+                if length == 0 or length > _MAX_FRAME:
+                    # Malformed or oversized: count the drop, drain
+                    # the declared bytes so the stream stays framed,
+                    # and keep the connection alive.
+                    self._fabric._record_drop(length)
+                    if length:
+                        conn.phase = "drain"
+                        conn.drain_left = length
+                    continue
+                buf, pooled = conn.buffers.take(length)
+                conn.body = buf
+                conn.pooled = pooled
+                conn.length = length
+                conn.view = memoryview(buf)[:length]
+                conn.phase = "body"
+                continue
+            # Body complete: route the frame, then recycle or hand
+            # over the buffer.  ``target`` still aliases the buffer's
+            # receive view — drop it, or the export outlives the
+            # recycle below.
+            frames += 1
+            conn.view = None
+            del target
+            body = conn.body
+            conn.body = None
+            assert body is not None
+            frame = memoryview(body)[: conn.length].toreadonly()
+            try:
+                self._deliver(conn, frame)
+            except (MarshalError, TransportError):
+                # Drop garbage, keep the connection — but count it so
+                # ``orb.stats()`` surfaces silent frame loss.
+                self._fabric._record_drop(conn.length)
+            del frame
+            if conn.pooled:
+                conn.buffers.give(body)
+            conn.phase = "header"
+            conn.have = 0
+            if conn.pause_depth > 0:
+                # The frame we just admitted paused this connection;
+                # stop reading immediately, not at the budget.
+                return
+
+    def _deliver(
+        self, conn: _ServerConnection, frame: memoryview
+    ) -> None:
+        """Decode the frame envelope and route it — the event-loop
+        twin of :meth:`SocketFabric._dispatch_frame`, with the
+        governor's request admission spliced between decode and
+        delivery."""
+        fabric = self._fabric
+        dec = CdrDecoder(frame)
+        dest_port_id = dec.read_ulong()
+        src = SocketPortAddress(
+            host=dec.read_string(),
+            tcp_port=dec.read_ulong(),
+            port_id=dec.read_ulong(),
+            label=dec.read_string(),
+        )
+        kind = dec.read_string()
+        payload: Any = dec.read_octets(dec.read_ulong())
+        governor = self._governor
+        if (
+            kind == KIND_REQUEST
+            and governor is not None
+            and governor.active
+        ):
+            routing = wire.peek_request(payload)
+            if routing is not None:
+                identity = routing.client_identity
+                self._note_identity(conn, identity)
+                if not governor.admit_request(
+                    identity,
+                    routing.request_id,
+                    routing.trace_id,
+                    routing.reply_port,
+                ):
+                    return  # refused: BUSY reply queued by governor
+        if conn.pooled:
+            copied(len(payload))
+            payload = bytes(payload)
+        fabric._deliver_local(dest_port_id, src, kind, payload)
+
+    def _note_identity(
+        self, conn: _ServerConnection, identity: int
+    ) -> None:
+        if identity in conn.identities:
+            return
+        conn.identities.add(identity)
+        self._by_identity.setdefault(identity, set()).add(conn)
+        if self._governor is not None and self._governor.is_paused(
+            identity
+        ):
+            # A paused identity opened another connection: it starts
+            # paused too, so backpressure cannot be dodged by
+            # reconnecting.
+            conn.pause_depth += 1
+            if conn.pause_depth == 1:
+                try:
+                    self._selector.unregister(conn.sock)
+                except (KeyError, ValueError):
+                    pass
+
+    def _sweep_paused(self) -> None:
+        """Paused sockets are out of the selector, so a client that
+        disconnects mid-backpressure would otherwise hold its
+        admission slot forever; probe them for EOF."""
+        for conn in [c for c in self._conns if c.pause_depth > 0]:
+            try:
+                data = conn.sock.recv(1, socket.MSG_PEEK)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError:
+                self._close_conn(conn)
+                continue
+            if data == b"":
+                self._close_conn(conn)
+            # Buffered bytes: the peer is alive (or died with data
+            # still queued — EOF will surface once it drains).
+
+    def _close_conn(self, conn: _ServerConnection) -> None:
+        if conn not in self._conns:
+            return
+        self._conns.discard(conn)
+        if conn.pause_depth == 0:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        orphaned = []
+        for identity in conn.identities:
+            peers = self._by_identity.get(identity)
+            if peers is None:
+                continue
+            peers.discard(conn)
+            if not peers:
+                del self._by_identity[identity]
+                orphaned.append(identity)
+        if self._governor is not None:
+            self._governor.on_disconnect(orphaned)
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns):
+            self._conns.discard(conn)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._by_identity.clear()
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------
